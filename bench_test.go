@@ -1,0 +1,222 @@
+// Package caladrius_test holds the benchmark harness that regenerates
+// every figure of the paper's evaluation (§V, Figures 4–12) plus the
+// two system-level comparisons. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each BenchmarkFigNN target executes the full experiment — simulator
+// sweeps, model calibration, prediction and validation — and reports
+// the figure's headline findings once. Micro-benchmarks for the hot
+// paths (simulation stepping, model evaluation, forecasting, metrics
+// queries) follow.
+package caladrius_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"caladrius/internal/core"
+	"caladrius/internal/experiments"
+	"caladrius/internal/forecast"
+	"caladrius/internal/heron"
+	"caladrius/internal/topology"
+	"caladrius/internal/tsdb"
+	"caladrius/internal/workload"
+)
+
+// benchSweep keeps figure benchmarks fast while preserving shape.
+var benchSweep = experiments.SweepOptions{WarmupMinutes: 3, MeasureMinutes: 4, Tick: 200 * time.Millisecond}
+
+var reportOnce sync.Map
+
+// runFigure executes one experiment per iteration, printing its
+// findings the first time.
+func runFigure(b *testing.B, name string, run func() (experiments.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tbl, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, loaded := reportOnce.LoadOrStore(name, true); !loaded {
+			b.Logf("\n%s", tbl.ASCII())
+		}
+	}
+}
+
+func BenchmarkFig04InstanceThroughput(b *testing.B) {
+	runFigure(b, "fig04", func() (experiments.Table, error) { return experiments.Fig04InstanceThroughput(benchSweep) })
+}
+
+func BenchmarkFig05IORatio(b *testing.B) {
+	runFigure(b, "fig05", func() (experiments.Table, error) { return experiments.Fig05IORatio(benchSweep) })
+}
+
+func BenchmarkFig06BackpressureTime(b *testing.B) {
+	runFigure(b, "fig06", func() (experiments.Table, error) { return experiments.Fig06BackpressureTime(benchSweep) })
+}
+
+func BenchmarkFig07ComponentModel(b *testing.B) {
+	runFigure(b, "fig07", func() (experiments.Table, error) { return experiments.Fig07ComponentModel(benchSweep) })
+}
+
+func BenchmarkFig08ComponentValidation(b *testing.B) {
+	runFigure(b, "fig08", func() (experiments.Table, error) { return experiments.Fig08ComponentValidation(benchSweep) })
+}
+
+func BenchmarkFig09CounterModel(b *testing.B) {
+	runFigure(b, "fig09", func() (experiments.Table, error) { return experiments.Fig09CounterModel(benchSweep) })
+}
+
+func BenchmarkFig10CriticalPath(b *testing.B) {
+	runFigure(b, "fig10", func() (experiments.Table, error) { return experiments.Fig10CriticalPath(benchSweep) })
+}
+
+func BenchmarkFig11CPULoad(b *testing.B) {
+	runFigure(b, "fig11", func() (experiments.Table, error) { return experiments.Fig11CPULoad(benchSweep) })
+}
+
+func BenchmarkFig12CPUValidation(b *testing.B) {
+	runFigure(b, "fig12", func() (experiments.Table, error) { return experiments.Fig12CPUValidation(benchSweep) })
+}
+
+func BenchmarkTrafficForecast(b *testing.B) {
+	runFigure(b, "traffic", experiments.TrafficForecast)
+}
+
+func BenchmarkDhalionVsCaladrius(b *testing.B) {
+	runFigure(b, "dhalion", experiments.DhalionVsCaladrius)
+}
+
+func BenchmarkAblationWatermarkGap(b *testing.B) {
+	runFigure(b, "ablation-watermarks", func() (experiments.Table, error) { return experiments.AblationWatermarkGap(benchSweep) })
+}
+
+func BenchmarkAblationCalibrationAttribution(b *testing.B) {
+	runFigure(b, "ablation-attribution", func() (experiments.Table, error) { return experiments.AblationCalibrationAttribution(benchSweep) })
+}
+
+func BenchmarkAblationNoiseVsError(b *testing.B) {
+	runFigure(b, "ablation-noise", func() (experiments.Table, error) { return experiments.AblationNoiseVsError(benchSweep) })
+}
+
+func BenchmarkAblationSchedulerPlans(b *testing.B) {
+	runFigure(b, "ablation-schedulers", experiments.AblationSchedulerPlans)
+}
+
+// --- micro-benchmarks -----------------------------------------------------
+
+// BenchmarkSimulatorMinute measures the cost of simulating one minute
+// of the 12-instance word-count topology at the default 100 ms tick.
+func BenchmarkSimulatorMinute(b *testing.B) {
+	sim, err := heron.NewWordCount(heron.WordCountOptions{RatePerMinute: 8e6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sim.Run(time.Minute); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTopologyPredict measures one dry-run evaluation of a
+// proposed configuration — the operation Caladrius performs instead of
+// a deployment.
+func BenchmarkTopologyPredict(b *testing.B) {
+	top, err := heron.WordCountTopology(8, 3, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	models := map[string]*core.ComponentModel{
+		"spout":    {Component: "spout", Parallelism: 8, Instance: core.InstanceModel{Alpha: 1, SP: 3e8}},
+		"splitter": {Component: "splitter", Parallelism: 3, Instance: core.InstanceModel{Alpha: 7.635, SP: 10.8e6}, CPUPsi: 1e-7},
+		"counter":  {Component: "counter", Parallelism: 4, Instance: core.InstanceModel{Alpha: 0.001, SP: 68.4e6}, CPUPsi: 1.2e-8},
+	}
+	tm, err := core.NewTopologyModel(top, models)
+	if err != nil {
+		b.Fatal(err)
+	}
+	overrides := map[string]int{"splitter": 6, "counter": 7}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tm.Predict(overrides, 45e6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProphetFit measures fitting the Prophet-substitute on one
+// week of per-minute history (10 080 points).
+func BenchmarkProphetFit(b *testing.B) {
+	spec := workload.TrafficSpec{Base: 1e6, DailyAmplitude: 0.4, NoiseStd: 0.02, Seed: 1}
+	history := spec.Generate(time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC), 7*24*60, time.Minute)
+	pts := make([]tsdb.Point, len(history))
+	for i, p := range history {
+		pts[i] = tsdb.Point{T: p.T, V: p.V}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := forecast.New("prophet", nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Fit(pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTSDBAppend measures raw metric ingestion.
+func BenchmarkTSDBAppend(b *testing.B) {
+	db := tsdb.New(0)
+	labels := tsdb.Labels{"topology": "wc", "component": "splitter", "instance": "0"}
+	t0 := time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.Append("execute-count", labels, t0.Add(time.Duration(i)*time.Minute), float64(i))
+	}
+}
+
+// BenchmarkTSDBDownsample measures the component-rollup query the
+// models issue during calibration.
+func BenchmarkTSDBDownsample(b *testing.B) {
+	db := tsdb.New(0)
+	t0 := time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+	for inst := 0; inst < 4; inst++ {
+		labels := tsdb.Labels{"component": "splitter", "instance": fmt.Sprintf("%d", inst)}
+		for m := 0; m < 1440; m++ {
+			db.Append("execute-count", labels, t0.Add(time.Duration(m)*time.Minute), float64(m))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Downsample("execute-count", tsdb.Labels{"component": "splitter"}, t0, t0.Add(24*time.Hour), time.Minute, tsdb.AggSum, tsdb.AggSum); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPackingPlan measures round-robin packing of a larger
+// topology.
+func BenchmarkPackingPlan(b *testing.B) {
+	top, err := topology.NewBuilder("big").
+		AddSpout("s", 32).
+		AddBolt("b1", 64).
+		AddBolt("b2", 128).
+		Connect("s", "b1", topology.ShuffleGrouping).
+		Connect("b1", "b2", topology.FieldsGrouping, "k").
+		Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := topology.RoundRobinPack(top, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Command caladrius runs the Caladrius performance-modelling web
+// service. Without a running Heron cluster to model, the daemon starts
+// in demo mode: it boots the embedded Heron simulator with the paper's
+// word-count topology, streams its metrics into the embedded
+// time-series database, registers the topology with the embedded
+// tracker and serves the modelling API against that live state.
+//
+// Usage:
+//
+//	caladrius [-config caladrius.yaml] [-addr :8642] [-rate 30e6]
+//
+// Then query it, e.g.:
+//
+//	curl -s -XPOST 'localhost:8642/api/v1/model/topology/word-count/performance?sync=true' \
+//	     -d '{"parallelism": {"splitter": 4}, "source_rate_tpm": 30000000}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"time"
+
+	"caladrius/internal/api"
+	"caladrius/internal/config"
+	"caladrius/internal/heron"
+	"caladrius/internal/metrics"
+	"caladrius/internal/topology"
+	"caladrius/internal/tracker"
+	"caladrius/internal/tsdb"
+	"caladrius/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "caladrius:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	configPath := flag.String("config", "", "path to a YAML configuration file")
+	addr := flag.String("addr", "", "listen address (overrides config)")
+	rate := flag.Float64("rate", 30e6, "demo topology offered source rate (tuples/minute)")
+	splitterP := flag.Int("splitter", 3, "demo splitter parallelism")
+	counterP := flag.Int("counter", 4, "demo counter parallelism")
+	warmMinutes := flag.Int("warm-minutes", 30, "simulated minutes of metric history to pre-populate")
+	metricsFile := flag.String("metrics", "", "serve from a heronsim -save metrics snapshot instead of simulating")
+	flag.Parse()
+
+	cfg := config.Default()
+	if *configPath != "" {
+		var err error
+		cfg, err = config.Load(*configPath)
+		if err != nil {
+			return err
+		}
+	}
+	if *addr != "" {
+		cfg.APIAddr = *addr
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	// Metric substrate: load a snapshot from a previous heronsim run,
+	// or simulate fresh history.
+	var db *tsdb.DB
+	var asOf time.Time
+	if *metricsFile != "" {
+		var err error
+		db, err = tsdb.LoadFile(*metricsFile)
+		if err != nil {
+			return err
+		}
+		latest, err := db.Latest(heron.MetricExecuteCount, nil)
+		if err != nil {
+			return fmt.Errorf("snapshot has no execute-count metrics: %w", err)
+		}
+		asOf = latest.T.Add(time.Minute)
+		logger.Info("loaded metrics snapshot", "file", *metricsFile, "points", db.TotalPoints(), "as_of", asOf)
+	} else {
+		sim, err := heron.NewWordCount(heron.WordCountOptions{
+			SplitterP: *splitterP,
+			CounterP:  *counterP,
+			Schedule:  workload.ConstantRate(*rate / 60),
+		})
+		if err != nil {
+			return err
+		}
+		logger.Info("simulating metric history", "minutes", *warmMinutes, "rate_tpm", *rate)
+		if err := sim.Run(time.Duration(*warmMinutes) * time.Minute); err != nil {
+			return err
+		}
+		db = sim.DB()
+		asOf = sim.Start().Add(time.Duration(*warmMinutes) * time.Minute)
+	}
+
+	top, err := heron.WordCountTopology(8, *splitterP, *counterP)
+	if err != nil {
+		return err
+	}
+	plan, err := topology.RoundRobinPack(top, 2)
+	if err != nil {
+		return err
+	}
+	tr := tracker.New(func() time.Time { return asOf })
+	if err := tr.Register(top, plan); err != nil {
+		return err
+	}
+	provider, err := metrics.NewTSDBProvider(db, cfg.MetricsWindow)
+	if err != nil {
+		return err
+	}
+	if *metricsFile == "" && cfg.CalibrationLookback > time.Duration(*warmMinutes)*time.Minute {
+		// Simulated history is only warm-minutes long.
+		cfg.CalibrationLookback = time.Duration(*warmMinutes) * time.Minute
+	}
+	svc, err := api.New(cfg, tr, provider, logger, func() time.Time { return asOf })
+	if err != nil {
+		return err
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/api/", svc.Handler())
+	mux.Handle("/tracker/", http.StripPrefix("/tracker", tr.Handler()))
+	logger.Info("caladrius listening", "addr", cfg.APIAddr, "topology", top.Name())
+	server := &http.Server{Addr: cfg.APIAddr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	return server.ListenAndServe()
+}

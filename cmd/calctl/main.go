@@ -1,0 +1,237 @@
+// Command calctl is the CLI client for a running caladrius service.
+//
+// Usage:
+//
+//	calctl [-server http://localhost:8642] <command> [args]
+//
+// Commands:
+//
+//	health                               service liveness
+//	models                               registered traffic models
+//	traffic <topology> [flags]           request a traffic forecast
+//	perf <topology> [flags]              request a performance prediction
+//	suggest <topology> [flags]           ask the planner for minimal safe parallelisms
+//	model <topology>                     show the calibrated model parameters
+//	graph <topology>                     topology graph analyses
+//	query <topology> [-graph X] <gremlin>  run a Gremlin-style graph query
+//	job <id>                             poll an asynchronous job
+//
+// traffic flags: -source-minutes N -horizon-minutes N -model NAME -sync
+// perf flags:    -rate TPM -p comp=N[,comp=N...] -forecast -sync
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "calctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	global := flag.NewFlagSet("calctl", flag.ContinueOnError)
+	server := global.String("server", "http://localhost:8642", "caladrius service base URL")
+	if err := global.Parse(args); err != nil {
+		return err
+	}
+	rest := global.Args()
+	if len(rest) == 0 {
+		return fmt.Errorf("missing command (health|models|traffic|perf|job)")
+	}
+	c := &client{base: strings.TrimRight(*server, "/"), http: &http.Client{Timeout: 60 * time.Second}}
+	switch rest[0] {
+	case "health":
+		return c.getJSON("/api/v1/health")
+	case "models":
+		return c.getJSON("/api/v1/models/traffic")
+	case "traffic":
+		return trafficCmd(c, rest[1:])
+	case "perf":
+		return perfCmd(c, rest[1:])
+	case "suggest":
+		return suggestCmd(c, rest[1:])
+	case "model":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: calctl model <topology>")
+		}
+		return c.getJSON("/api/v1/model/topology/" + rest[1] + "/model")
+	case "graph":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: calctl graph <topology>")
+		}
+		return c.getJSON("/api/v1/model/topology/" + rest[1] + "/graph")
+	case "query":
+		return queryCmd(c, rest[1:])
+	case "job":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: calctl job <id>")
+		}
+		return c.getJSON("/api/v1/jobs/" + rest[1])
+	default:
+		return fmt.Errorf("unknown command %q", rest[0])
+	}
+}
+
+type client struct {
+	base string
+	http *http.Client
+}
+
+func (c *client) getJSON(path string) error {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return render(resp)
+}
+
+func (c *client) postJSON(path string, body any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return render(resp)
+}
+
+// render pretty-prints the JSON response and fails on error statuses.
+func render(resp *http.Response) error {
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if json.Indent(&buf, data, "", "  ") == nil {
+		data = buf.Bytes()
+	}
+	fmt.Println(string(data))
+	if resp.StatusCode >= 400 {
+		return fmt.Errorf("server returned %s", resp.Status)
+	}
+	return nil
+}
+
+func trafficCmd(c *client, args []string) error {
+	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
+		return fmt.Errorf("usage: calctl traffic <topology> [flags]")
+	}
+	topo := args[0]
+	fs := flag.NewFlagSet("traffic", flag.ContinueOnError)
+	sourceMinutes := fs.Int("source-minutes", 0, "history window to fit on")
+	horizonMinutes := fs.Int("horizon-minutes", 60, "forecast horizon")
+	model := fs.String("model", "", "restrict to one model")
+	sync := fs.Bool("sync", true, "run synchronously")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	body := map[string]any{
+		"source_minutes":  *sourceMinutes,
+		"horizon_minutes": *horizonMinutes,
+	}
+	if *model != "" {
+		body["models"] = []string{*model}
+	}
+	return c.postJSON("/api/v1/model/traffic/"+topo+syncSuffix(*sync), body)
+}
+
+func perfCmd(c *client, args []string) error {
+	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
+		return fmt.Errorf("usage: calctl perf <topology> [flags]")
+	}
+	topo := args[0]
+	fs := flag.NewFlagSet("perf", flag.ContinueOnError)
+	rate := fs.Float64("rate", 0, "source rate to evaluate (tuples/minute); 0 = latest observed")
+	pFlag := fs.String("p", "", "parallelism overrides, e.g. splitter=4,counter=6")
+	useForecast := fs.Bool("forecast", false, "evaluate at the forecast peak instead of -rate")
+	horizonMinutes := fs.Int("horizon-minutes", 60, "forecast horizon when -forecast is set")
+	sync := fs.Bool("sync", true, "run synchronously")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	body := map[string]any{}
+	if *rate != 0 {
+		body["source_rate_tpm"] = *rate
+	}
+	if *useForecast {
+		body["use_forecast"] = true
+		body["horizon_minutes"] = *horizonMinutes
+	}
+	if *pFlag != "" {
+		overrides := map[string]int{}
+		for _, kv := range strings.Split(*pFlag, ",") {
+			parts := strings.SplitN(kv, "=", 2)
+			if len(parts) != 2 {
+				return fmt.Errorf("bad parallelism %q, want comp=N", kv)
+			}
+			n, err := strconv.Atoi(parts[1])
+			if err != nil {
+				return fmt.Errorf("bad parallelism %q: %v", kv, err)
+			}
+			overrides[parts[0]] = n
+		}
+		body["parallelism"] = overrides
+	}
+	return c.postJSON("/api/v1/model/topology/"+topo+"/performance"+syncSuffix(*sync), body)
+}
+
+func suggestCmd(c *client, args []string) error {
+	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
+		return fmt.Errorf("usage: calctl suggest <topology> [flags]")
+	}
+	topo := args[0]
+	fs := flag.NewFlagSet("suggest", flag.ContinueOnError)
+	rate := fs.Float64("rate", 0, "source rate to plan for (tuples/minute); 0 = latest observed")
+	headroom := fs.Float64("headroom", 0.2, "capacity margin")
+	sync := fs.Bool("sync", true, "run synchronously")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	body := map[string]any{"headroom": *headroom}
+	if *rate != 0 {
+		body["source_rate_tpm"] = *rate
+	}
+	return c.postJSON("/api/v1/model/topology/"+topo+"/suggest"+syncSuffix(*sync), body)
+}
+
+func queryCmd(c *client, args []string) error {
+	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
+		return fmt.Errorf("usage: calctl query <topology> [-graph logical|physical] <gremlin>")
+	}
+	topo := args[0]
+	fs := flag.NewFlagSet("query", flag.ContinueOnError)
+	graphKind := fs.String("graph", "physical", "graph to query: logical or physical")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: calctl query <topology> [-graph logical|physical] <gremlin>")
+	}
+	return c.postJSON("/api/v1/model/topology/"+topo+"/query?sync=true", map[string]any{
+		"query": fs.Arg(0),
+		"graph": *graphKind,
+	})
+}
+
+func syncSuffix(sync bool) string {
+	if sync {
+		return "?sync=true"
+	}
+	return ""
+}

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"caladrius/internal/api"
+	"caladrius/internal/config"
+	"caladrius/internal/heron"
+	"caladrius/internal/metrics"
+	"caladrius/internal/topology"
+	"caladrius/internal/tracker"
+	"caladrius/internal/workload"
+)
+
+// newTestServer stands up a full service over simulated metrics.
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	sim, err := heron.NewWordCount(heron.WordCountOptions{
+		SplitterP: 3, CounterP: 8,
+		Schedule: workload.StepRate(20e6/60, 45e6/60, 15*time.Minute),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(30 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	asOf := sim.Start().Add(30 * time.Minute)
+	top, err := heron.WordCountTopology(8, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := topology.RoundRobinPack(top, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := tracker.New(func() time.Time { return asOf })
+	if err := tr.Register(top, plan); err != nil {
+		t.Fatal(err)
+	}
+	prov, err := metrics.NewTSDBProvider(sim.DB(), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := config.Default()
+	cfg.CalibrationLookback = 30 * time.Minute
+	svc, err := api.New(cfg, tr, prov, nil, func() time.Time { return asOf })
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestCommands(t *testing.T) {
+	srv := newTestServer(t)
+	base := []string{"-server", srv.URL}
+	ok := [][]string{
+		{"health"},
+		{"models"},
+		{"traffic", "word-count", "-horizon-minutes", "5", "-model", "summary"},
+		{"perf", "word-count", "-rate", "30e6", "-p", "splitter=4,counter=8"},
+		{"perf", "word-count", "-forecast", "-horizon-minutes", "10"},
+		{"model", "word-count"},
+		{"graph", "word-count"},
+		{"suggest", "word-count", "-rate", "40e6", "-headroom", "0.15"},
+		{"query", "word-count", "g.V().hasLabel('stmgr').count()"},
+		{"query", "word-count", "-graph", "logical", "g.V().count()"},
+	}
+	for _, args := range ok {
+		if err := run(append(append([]string{}, base...), args...)); err != nil {
+			t.Errorf("calctl %s: %v", strings.Join(args, " "), err)
+		}
+	}
+}
+
+func TestCommandErrors(t *testing.T) {
+	srv := newTestServer(t)
+	base := []string{"-server", srv.URL}
+	bad := [][]string{
+		{},                                       // no command
+		{"bogus"},                                // unknown command
+		{"traffic"},                              // missing topology
+		{"perf"},                                 // missing topology
+		{"perf", "word-count", "-p", "x"},        // malformed parallelism
+		{"perf", "word-count", "-p", "x=y"},      // non-numeric parallelism
+		{"model"},                                // missing arg
+		{"graph"},                                // missing arg
+		{"suggest"},                              // missing topology
+		{"query"},                                // missing topology
+		{"query", "word-count"},                  // missing query string
+		{"query", "word-count", "g.V().bogus()"}, // server-side query error
+		{"job"},                                  // missing id
+		{"perf", "ghost-topology", "-rate", "1"}, // 404 from server
+	}
+	for _, args := range bad {
+		if err := run(append(append([]string{}, base...), args...)); err == nil {
+			t.Errorf("calctl %s: expected error", strings.Join(args, " "))
+		}
+	}
+}
+
+func TestAsyncJobFlow(t *testing.T) {
+	srv := newTestServer(t)
+	// Fire an async request, then poll the job until it resolves.
+	if err := run([]string{"-server", srv.URL, "perf", "word-count", "-rate", "10e6", "-sync=false"}); err != nil {
+		t.Fatalf("async submit: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		err := run([]string{"-server", srv.URL, "job", "job-1"})
+		if err == nil {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never resolved: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,0 +1,91 @@
+// Command figures regenerates the paper's evaluation figures
+// (Figures 4–12 plus the traffic-forecast and Dhalion comparisons),
+// printing each as an ASCII table and optionally writing CSVs.
+//
+// Usage:
+//
+//	figures [-only fig04,fig10] [-out results/] [-accurate]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"caladrius/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	only := flag.String("only", "", "comma-separated experiment names (fig04..fig12, traffic, dhalion)")
+	out := flag.String("out", "", "directory to write CSV files into")
+	accurate := flag.Bool("accurate", false, "longer runs and finer ticks for tighter averages")
+	flag.Parse()
+
+	sweep := experiments.DefaultSweep
+	if *accurate {
+		sweep = experiments.SweepOptions{WarmupMinutes: 8, MeasureMinutes: 10, Tick: 50 * time.Millisecond}
+	}
+
+	runners := map[string]func() (experiments.Table, error){
+		"fig04":                func() (experiments.Table, error) { return experiments.Fig04InstanceThroughput(sweep) },
+		"fig05":                func() (experiments.Table, error) { return experiments.Fig05IORatio(sweep) },
+		"fig06":                func() (experiments.Table, error) { return experiments.Fig06BackpressureTime(sweep) },
+		"fig07":                func() (experiments.Table, error) { return experiments.Fig07ComponentModel(sweep) },
+		"fig08":                func() (experiments.Table, error) { return experiments.Fig08ComponentValidation(sweep) },
+		"fig09":                func() (experiments.Table, error) { return experiments.Fig09CounterModel(sweep) },
+		"fig10":                func() (experiments.Table, error) { return experiments.Fig10CriticalPath(sweep) },
+		"fig11":                func() (experiments.Table, error) { return experiments.Fig11CPULoad(sweep) },
+		"fig12":                func() (experiments.Table, error) { return experiments.Fig12CPUValidation(sweep) },
+		"traffic":              experiments.TrafficForecast,
+		"dhalion":              experiments.DhalionVsCaladrius,
+		"ablation-watermarks":  func() (experiments.Table, error) { return experiments.AblationWatermarkGap(sweep) },
+		"ablation-attribution": func() (experiments.Table, error) { return experiments.AblationCalibrationAttribution(sweep) },
+		"ablation-noise":       func() (experiments.Table, error) { return experiments.AblationNoiseVsError(sweep) },
+		"ablation-schedulers":  experiments.AblationSchedulerPlans,
+	}
+	order := []string{"fig04", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "traffic", "dhalion",
+		"ablation-watermarks", "ablation-attribution", "ablation-noise", "ablation-schedulers"}
+
+	selected := order
+	if *only != "" {
+		selected = nil
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := runners[name]; !ok {
+				return fmt.Errorf("unknown experiment %q (have %s)", name, strings.Join(order, ", "))
+			}
+			selected = append(selected, name)
+		}
+	}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			return err
+		}
+	}
+	for _, name := range selected {
+		started := time.Now()
+		tbl, err := runners[name]()
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Println(tbl.ASCII())
+		fmt.Printf("   (%s in %.1fs)\n\n", name, time.Since(started).Seconds())
+		if *out != "" {
+			path := filepath.Join(*out, name+".csv")
+			if err := os.WriteFile(path, []byte(tbl.CSV()), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module caladrius
+
+go 1.22

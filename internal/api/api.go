@@ -1,0 +1,739 @@
+// Package api implements Caladrius' API tier (§III-A): a JSON REST
+// service through which clients request traffic forecasts and topology
+// performance predictions. Modelling runs asynchronously by default —
+// a request returns 202 Accepted with a job id to poll — because model
+// evaluation can take seconds; ?sync=true runs inline for small
+// requests and tests.
+//
+// Endpoints:
+//
+//	GET  /api/v1/health
+//	GET  /api/v1/models/traffic                           registered forecast models
+//	POST /api/v1/model/traffic/{topology}                 traffic forecast
+//	POST /api/v1/model/traffic/{topology}/rank            backtest-rank configured models
+//	POST /api/v1/model/topology/{topology}/performance    performance prediction
+//	POST /api/v1/model/topology/{topology}/suggest        minimal safe parallelism plan
+//	POST /api/v1/model/topology/{topology}/calibrate      force recalibration
+//	GET  /api/v1/model/topology/{topology}/model          calibrated model parameters
+//	GET  /api/v1/model/topology/{topology}/graph          topology graph analyses
+//	POST /api/v1/model/topology/{topology}/query          Gremlin-style graph query
+//	GET  /api/v1/jobs/{id}                                job status/result
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"caladrius/internal/config"
+	"caladrius/internal/core"
+	"caladrius/internal/forecast"
+	"caladrius/internal/graph"
+	"caladrius/internal/metrics"
+	"caladrius/internal/tracker"
+	"caladrius/internal/tsdb"
+)
+
+// Service wires the model tier to its helpers: the topology metadata
+// service, the metrics provider and the graph cache.
+type Service struct {
+	cfg      config.Config
+	tracker  *tracker.Tracker
+	provider metrics.Provider
+	graphs   *graph.Cache
+	jobs     *jobStore
+	logger   *slog.Logger
+	now      func() time.Time
+
+	mu         sync.Mutex
+	modelCache map[string]cachedModel // topology name → calibrated model
+}
+
+type cachedModel struct {
+	planVersion int
+	model       *core.TopologyModel
+}
+
+// New builds a service. logger and now are optional.
+func New(cfg config.Config, tr *tracker.Tracker, provider metrics.Provider, logger *slog.Logger, now func() time.Time) (*Service, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if tr == nil || provider == nil {
+		return nil, errors.New("api: nil tracker or metrics provider")
+	}
+	if logger == nil {
+		logger = slog.Default()
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Service{
+		cfg:        cfg,
+		tracker:    tr,
+		provider:   provider,
+		graphs:     graph.NewCache(),
+		jobs:       newJobStore(now),
+		logger:     logger,
+		now:        now,
+		modelCache: map[string]cachedModel{},
+	}, nil
+}
+
+// Handler returns the REST API handler.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/v1/health", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "time": s.now().UTC()})
+	})
+	mux.HandleFunc("/api/v1/models/traffic", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"models": forecast.Names()})
+	})
+	mux.HandleFunc("/api/v1/model/traffic/", s.handleTraffic)
+	mux.HandleFunc("/api/v1/model/topology/", s.handleTopology)
+	mux.HandleFunc("/api/v1/jobs/", s.handleJob)
+	return mux
+}
+
+// --- request/response types ---------------------------------------------
+
+// TrafficRequest asks for a source-throughput forecast for a topology.
+type TrafficRequest struct {
+	// SourceMinutes is the length of metric history to fit on.
+	SourceMinutes int `json:"source_minutes"`
+	// HorizonMinutes is how far ahead to forecast.
+	HorizonMinutes int `json:"horizon_minutes"`
+	// Models optionally restricts which configured models run; empty
+	// runs all configured models (the paper: "by default, the endpoint
+	// will run all model implementations defined in the configuration
+	// and concatenate the results").
+	Models []string `json:"models,omitempty"`
+	// AsOf anchors "now" for metric queries; zero means the service
+	// clock. Simulated deployments pass the simulation time.
+	AsOf time.Time `json:"as_of,omitempty"`
+}
+
+// TrafficModelResult is one model's forecast output.
+type TrafficModelResult struct {
+	Model        string                 `json:"model"`
+	Predictions  []forecast.Prediction  `json:"predictions"`
+	SummaryStats *forecast.SummaryStats `json:"summary_stats,omitempty"`
+}
+
+// TrafficResponse is the traffic endpoint's result payload.
+type TrafficResponse struct {
+	Topology string               `json:"topology"`
+	Results  []TrafficModelResult `json:"results"`
+}
+
+// PerformanceRequest asks for a topology performance prediction.
+type PerformanceRequest struct {
+	// Parallelism overrides component parallelisms (the proposed
+	// packing plan of a dry-run update). Empty = current.
+	Parallelism map[string]int `json:"parallelism,omitempty"`
+	// SourceRateTPM is the topology source throughput t₀ to evaluate
+	// at, in tuples/minute. Zero with UseForecast false means "use the
+	// latest observed source rate".
+	SourceRateTPM float64 `json:"source_rate_tpm,omitempty"`
+	// UseForecast evaluates at the configured traffic model's peak
+	// forecast over the horizon instead (preemptive scaling).
+	UseForecast    bool `json:"use_forecast,omitempty"`
+	HorizonMinutes int  `json:"horizon_minutes,omitempty"`
+	SourceMinutes  int  `json:"source_minutes,omitempty"`
+	// AsOf anchors metric queries.
+	AsOf time.Time `json:"as_of,omitempty"`
+}
+
+// PerformanceResponse is the performance endpoint's result payload.
+type PerformanceResponse struct {
+	Topology   string                  `json:"topology"`
+	Prediction core.TopologyPrediction `json:"prediction"`
+	// EvaluatedRateTPM is the source rate the prediction used.
+	EvaluatedRateTPM float64 `json:"evaluated_rate_tpm"`
+}
+
+// --- handlers ------------------------------------------------------------
+
+func (s *Service) handleTraffic(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/api/v1/model/traffic/")
+	topoName, action, hasAction := strings.Cut(rest, "/")
+	if topoName == "" || (hasAction && action != "rank") {
+		httpError(w, http.StatusBadRequest, "want /api/v1/model/traffic/{name}[/rank]")
+		return
+	}
+	var req TrafficRequest
+	if err := decodeBody(r.Body, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if hasAction {
+		s.dispatch(w, r, func() (any, error) { return s.runRank(topoName, req) })
+		return
+	}
+	s.dispatch(w, r, func() (any, error) { return s.runTraffic(topoName, req) })
+}
+
+// RankEntry is one model's backtest outcome on the topology's own
+// traffic history.
+type RankEntry struct {
+	Model    string  `json:"model"`
+	MAPE     float64 `json:"mape"`
+	RMSE     float64 `json:"rmse"`
+	Coverage float64 `json:"interval_coverage"`
+	Error    string  `json:"error,omitempty"`
+}
+
+// RankResponse orders the configured traffic models by backtest skill.
+type RankResponse struct {
+	Topology string      `json:"topology"`
+	Ranking  []RankEntry `json:"ranking"`
+}
+
+// runRank backtests every configured traffic model on the topology's
+// recent source-throughput history (final 20% held out) and ranks them
+// by MAPE — the model-selection question the pluggable tier raises.
+func (s *Service) runRank(topoName string, req TrafficRequest) (*RankResponse, error) {
+	info, err := s.tracker.Get(topoName)
+	if err != nil {
+		return nil, err
+	}
+	if req.SourceMinutes <= 0 {
+		req.SourceMinutes = int(s.cfg.CalibrationLookback / time.Minute)
+	}
+	asOf := req.AsOf
+	if asOf.IsZero() {
+		asOf = s.now()
+	}
+	history, err := s.provider.SourceRate(topoName, info.Topology.Spouts(), asOf.Add(-time.Duration(req.SourceMinutes)*time.Minute), asOf)
+	if err != nil {
+		return nil, fmt.Errorf("traffic history: %w", err)
+	}
+	candidates := make([]struct {
+		Name    string
+		Options map[string]any
+	}, len(s.cfg.TrafficModels))
+	for i, ref := range s.cfg.TrafficModels {
+		candidates[i].Name, candidates[i].Options = ref.Name, ref.Options
+	}
+	resp := &RankResponse{Topology: topoName}
+	for _, r := range forecast.Rank(candidates, history, 0.2) {
+		e := RankEntry{Model: r.Model, MAPE: r.Accuracy.MAPE, RMSE: r.Accuracy.RMSE, Coverage: r.Accuracy.Coverage}
+		if r.Err != nil {
+			e.Error = r.Err.Error()
+		}
+		resp.Ranking = append(resp.Ranking, e)
+	}
+	return resp, nil
+}
+
+func (s *Service) handleTopology(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/api/v1/model/topology/")
+	parts := strings.Split(rest, "/")
+	if len(parts) != 2 || parts[0] == "" {
+		httpError(w, http.StatusBadRequest, "want /api/v1/model/topology/{name}/{performance|suggest|calibrate|model|graph}")
+		return
+	}
+	topoName, action := parts[0], parts[1]
+	if action == "model" || action == "graph" {
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		if action == "graph" {
+			resp, err := s.graphInfo(topoName)
+			if err != nil {
+				httpError(w, statusFor(err), err.Error())
+				return
+			}
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+		tm, err := s.topologyModel(topoName, time.Time{})
+		if err != nil {
+			httpError(w, statusFor(err), err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, modelJSON(topoName, tm))
+		return
+	}
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	switch action {
+	case "performance":
+		var req PerformanceRequest
+		if err := decodeBody(r.Body, &req); err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		s.dispatch(w, r, func() (any, error) { return s.runPerformance(topoName, req) })
+	case "suggest":
+		var req SuggestRequest
+		if err := decodeBody(r.Body, &req); err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		s.dispatch(w, r, func() (any, error) { return s.runSuggest(topoName, req) })
+	case "query":
+		var req GraphQueryRequest
+		if err := decodeBody(r.Body, &req); err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		s.dispatch(w, r, func() (any, error) { return s.runGraphQuery(topoName, req) })
+	case "calibrate":
+		var req PerformanceRequest
+		if err := decodeBody(r.Body, &req); err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		s.invalidateModel(topoName)
+		s.dispatch(w, r, func() (any, error) {
+			_, err := s.topologyModel(topoName, req.AsOf)
+			if err != nil {
+				return nil, err
+			}
+			return map[string]any{"topology": topoName, "calibrated": true}, nil
+		})
+	default:
+		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown action %q", action))
+	}
+}
+
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/api/v1/jobs/")
+	job, ok := s.jobs.get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+// dispatch runs fn inline (?sync=true) or as an asynchronous job.
+func (s *Service) dispatch(w http.ResponseWriter, r *http.Request, fn func() (any, error)) {
+	if r.URL.Query().Get("sync") == "true" {
+		result, err := fn()
+		if err != nil {
+			s.logger.Warn("model request failed", "path", r.URL.Path, "err", err)
+			httpError(w, statusFor(err), err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, result)
+		return
+	}
+	job := s.jobs.create()
+	s.jobs.run(job.ID, fn)
+	w.Header().Set("Location", "/api/v1/jobs/"+job.ID)
+	writeJSON(w, http.StatusAccepted, map[string]any{"job_id": job.ID, "poll": "/api/v1/jobs/" + job.ID})
+}
+
+// --- model execution ------------------------------------------------------
+
+// runTraffic fits the configured traffic models on the topology's
+// source-throughput history and forecasts the horizon.
+func (s *Service) runTraffic(topoName string, req TrafficRequest) (*TrafficResponse, error) {
+	info, err := s.tracker.Get(topoName)
+	if err != nil {
+		return nil, err
+	}
+	if req.SourceMinutes <= 0 {
+		req.SourceMinutes = int(s.cfg.CalibrationLookback / time.Minute)
+	}
+	if req.HorizonMinutes <= 0 {
+		req.HorizonMinutes = 60
+	}
+	asOf := req.AsOf
+	if asOf.IsZero() {
+		asOf = s.now()
+	}
+	start := asOf.Add(-time.Duration(req.SourceMinutes) * time.Minute)
+	history, err := s.provider.SourceRate(topoName, info.Topology.Spouts(), start, asOf)
+	if err != nil {
+		return nil, fmt.Errorf("traffic history: %w", err)
+	}
+	refs := s.cfg.TrafficModels
+	if len(req.Models) > 0 {
+		refs = nil
+		for _, name := range req.Models {
+			found := false
+			for _, ref := range s.cfg.TrafficModels {
+				if ref.Name == name {
+					refs = append(refs, ref)
+					found = true
+					break
+				}
+			}
+			if !found {
+				refs = append(refs, config.ModelRef{Name: name})
+			}
+		}
+	}
+	resp := &TrafficResponse{Topology: topoName}
+	horizon := forecast.Horizon(asOf, time.Minute, req.HorizonMinutes)
+	for _, ref := range refs {
+		m, err := forecast.New(ref.Name, ref.Options)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.Fit(history); err != nil {
+			return nil, fmt.Errorf("model %s: %w", ref.Name, err)
+		}
+		preds, err := m.Predict(horizon)
+		if err != nil {
+			return nil, fmt.Errorf("model %s: %w", ref.Name, err)
+		}
+		result := TrafficModelResult{Model: ref.Name, Predictions: preds}
+		if sm, ok := m.(*forecast.Summary); ok {
+			if stats, err := sm.Stats(); err == nil {
+				result.SummaryStats = &stats
+			}
+		}
+		resp.Results = append(resp.Results, result)
+	}
+	return resp, nil
+}
+
+// runPerformance evaluates a proposed configuration.
+func (s *Service) runPerformance(topoName string, req PerformanceRequest) (*PerformanceResponse, error) {
+	asOf := req.AsOf
+	if asOf.IsZero() {
+		asOf = s.now()
+	}
+	tm, err := s.topologyModel(topoName, asOf)
+	if err != nil {
+		return nil, err
+	}
+	rate := req.SourceRateTPM
+	switch {
+	case req.UseForecast:
+		tr, err := s.runTraffic(topoName, TrafficRequest{
+			SourceMinutes:  req.SourceMinutes,
+			HorizonMinutes: req.HorizonMinutes,
+			Models:         []string{s.cfg.TrafficModels[0].Name},
+			AsOf:           asOf,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Preemptive scaling evaluates at the peak of the forecast's
+		// upper band.
+		for _, p := range tr.Results[0].Predictions {
+			if p.Upper > rate {
+				rate = p.Upper
+			}
+		}
+	case rate == 0:
+		info, err := s.tracker.Get(topoName)
+		if err != nil {
+			return nil, err
+		}
+		pts, err := s.provider.SourceRate(topoName, info.Topology.Spouts(), asOf.Add(-15*time.Minute), asOf)
+		if err != nil {
+			return nil, fmt.Errorf("current source rate: %w", err)
+		}
+		rate = pts[len(pts)-1].V
+	}
+	if rate < 0 || math.IsNaN(rate) {
+		return nil, fmt.Errorf("api: bad source rate %g", rate)
+	}
+	pred, err := tm.Predict(req.Parallelism, rate)
+	if err != nil {
+		return nil, err
+	}
+	return &PerformanceResponse{Topology: topoName, Prediction: pred, EvaluatedRateTPM: rate}, nil
+}
+
+// topologyModel returns the calibrated model for the topology, reusing
+// the cache while the packing-plan version is unchanged.
+func (s *Service) topologyModel(topoName string, asOf time.Time) (*core.TopologyModel, error) {
+	info, err := s.tracker.Get(topoName)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if c, ok := s.modelCache[topoName]; ok && c.planVersion == info.Plan.Version {
+		s.mu.Unlock()
+		return c.model, nil
+	}
+	s.mu.Unlock()
+
+	if asOf.IsZero() {
+		asOf = s.now()
+	}
+	start := asOf.Add(-s.cfg.CalibrationLookback)
+	// Topology-aware calibration attributes backpressure to the true
+	// bottleneck, discarding the spurious upstream backpressure that
+	// burst-resume cycles induce.
+	models, err := core.CalibrateTopologyFromProvider(s.provider, info.Topology, start, asOf, core.CalibrationOptions{
+		Warmup: s.cfg.CalibrationWarmup,
+		Window: s.cfg.MetricsWindow,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("calibrate %s: %w", topoName, err)
+	}
+	tm, err := core.NewTopologyModel(info.Topology, models)
+	if err != nil {
+		return nil, err
+	}
+	// Warm the graph cache alongside the model: analyses use both.
+	if _, _, err := s.graphs.Get(info.Topology, info.Plan); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.modelCache[topoName] = cachedModel{planVersion: info.Plan.Version, model: tm}
+	s.mu.Unlock()
+	s.logger.Info("calibrated topology model", "topology", topoName, "plan_version", info.Plan.Version)
+	return tm, nil
+}
+
+func (s *Service) invalidateModel(topoName string) {
+	s.mu.Lock()
+	delete(s.modelCache, topoName)
+	s.mu.Unlock()
+	s.graphs.Invalidate(topoName)
+}
+
+// SuggestRequest asks the planner for the minimal parallelisms that
+// absorb a source rate with headroom.
+type SuggestRequest struct {
+	// SourceRateTPM is the rate to plan for; zero means the latest
+	// observed source rate.
+	SourceRateTPM float64 `json:"source_rate_tpm,omitempty"`
+	// Headroom is the planning margin (default 0.2).
+	Headroom float64 `json:"headroom,omitempty"`
+	// AsOf anchors metric queries.
+	AsOf time.Time `json:"as_of,omitempty"`
+}
+
+// SuggestResponse carries the suggested plan and its dry-run
+// evaluation.
+type SuggestResponse struct {
+	Topology         string                  `json:"topology"`
+	EvaluatedRateTPM float64                 `json:"evaluated_rate_tpm"`
+	Parallelism      map[string]int          `json:"parallelism"`
+	Prediction       core.TopologyPrediction `json:"prediction"`
+}
+
+// runSuggest plans the minimal safe parallelisms for a source rate.
+func (s *Service) runSuggest(topoName string, req SuggestRequest) (*SuggestResponse, error) {
+	asOf := req.AsOf
+	if asOf.IsZero() {
+		asOf = s.now()
+	}
+	tm, err := s.topologyModel(topoName, asOf)
+	if err != nil {
+		return nil, err
+	}
+	rate := req.SourceRateTPM
+	if rate == 0 {
+		info, err := s.tracker.Get(topoName)
+		if err != nil {
+			return nil, err
+		}
+		pts, err := s.provider.SourceRate(topoName, info.Topology.Spouts(), asOf.Add(-15*time.Minute), asOf)
+		if err != nil {
+			return nil, fmt.Errorf("current source rate: %w", err)
+		}
+		rate = pts[len(pts)-1].V
+	}
+	headroom := req.Headroom
+	if headroom == 0 {
+		headroom = 0.2
+	}
+	plan, err := tm.SuggestParallelism(rate, headroom)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := tm.Predict(plan, rate)
+	if err != nil {
+		return nil, err
+	}
+	return &SuggestResponse{Topology: topoName, EvaluatedRateTPM: rate, Parallelism: plan, Prediction: pred}, nil
+}
+
+// GraphQueryRequest carries a Gremlin-style traversal to run against
+// the topology's physical graph (Graph="logical" selects the
+// component-level graph instead).
+type GraphQueryRequest struct {
+	Query string `json:"query"`
+	Graph string `json:"graph,omitempty"`
+}
+
+// GraphQueryResponse returns the traversal result; its type depends on
+// the terminal step (ids → strings, count → number, values → any list,
+// path → string lists).
+type GraphQueryResponse struct {
+	Topology string `json:"topology"`
+	Query    string `json:"query"`
+	Result   any    `json:"result"`
+}
+
+// runGraphQuery executes a Gremlin-style query through the graph
+// cache.
+func (s *Service) runGraphQuery(topoName string, req GraphQueryRequest) (*GraphQueryResponse, error) {
+	if strings.TrimSpace(req.Query) == "" {
+		return nil, fmt.Errorf("api: empty graph query")
+	}
+	info, err := s.tracker.Get(topoName)
+	if err != nil {
+		return nil, err
+	}
+	logical, physical, err := s.graphs.Get(info.Topology, info.Plan)
+	if err != nil {
+		return nil, err
+	}
+	g := physical
+	switch req.Graph {
+	case "", "physical":
+	case "logical":
+		g = logical
+	default:
+		return nil, fmt.Errorf("api: unknown graph %q (want logical or physical)", req.Graph)
+	}
+	result, err := g.Query(req.Query)
+	if err != nil {
+		return nil, err
+	}
+	return &GraphQueryResponse{Topology: topoName, Query: req.Query, Result: result}, nil
+}
+
+// GraphResponse summarises the graph-helper analyses of a topology:
+// logical/physical graph sizes, spout→sink paths, and per-stream
+// cross-container traffic fractions.
+type GraphResponse struct {
+	Topology          string             `json:"topology"`
+	PlanVersion       int                `json:"plan_version"`
+	Containers        int                `json:"containers"`
+	LogicalVertices   int                `json:"logical_vertices"`
+	LogicalEdges      int                `json:"logical_edges"`
+	PhysicalVertices  int                `json:"physical_vertices"`
+	PhysicalEdges     int                `json:"physical_edges"`
+	ComponentPaths    [][]string         `json:"component_paths"`
+	InstancePathCount int                `json:"instance_path_count"`
+	RemoteFractions   map[string]float64 `json:"remote_fractions"`
+}
+
+// graphInfo builds the graph analyses through the version-keyed cache.
+func (s *Service) graphInfo(topoName string) (*GraphResponse, error) {
+	info, err := s.tracker.Get(topoName)
+	if err != nil {
+		return nil, err
+	}
+	logical, physical, err := s.graphs.Get(info.Topology, info.Plan)
+	if err != nil {
+		return nil, err
+	}
+	return &GraphResponse{
+		Topology:          topoName,
+		PlanVersion:       info.Plan.Version,
+		Containers:        len(info.Plan.Containers),
+		LogicalVertices:   logical.VertexCount(),
+		LogicalEdges:      logical.EdgeCount(),
+		PhysicalVertices:  physical.VertexCount(),
+		PhysicalEdges:     physical.EdgeCount(),
+		ComponentPaths:    info.Topology.Paths(),
+		InstancePathCount: info.Topology.InstancePathCount(),
+		RemoteFractions:   graph.RemoteTransferFraction(info.Topology, info.Plan),
+	}, nil
+}
+
+// ComponentModelJSON is the wire form of one calibrated component
+// model, exposed by the model-inspection endpoint.
+type ComponentModelJSON struct {
+	Component   string  `json:"component"`
+	Parallelism int     `json:"calibrated_parallelism"`
+	Alpha       float64 `json:"alpha"`
+	// SPTPM is the per-instance saturation point in tuples/minute;
+	// null when saturation was never observed.
+	SPTPM *float64 `json:"sp_tpm"`
+	// STTPM is the per-instance saturation throughput α·SP.
+	STTPM       *float64  `json:"st_tpm"`
+	CPUPsi      float64   `json:"cpu_psi_cores_per_tpm"`
+	InputShares []float64 `json:"input_shares,omitempty"`
+}
+
+// ModelResponse describes a topology's calibrated model.
+type ModelResponse struct {
+	Topology   string               `json:"topology"`
+	Components []ComponentModelJSON `json:"components"`
+}
+
+func modelJSON(topoName string, tm *core.TopologyModel) ModelResponse {
+	resp := ModelResponse{Topology: topoName}
+	for _, name := range tm.Topology().ComponentNames() {
+		m, ok := tm.Component(name)
+		if !ok {
+			continue
+		}
+		cj := ComponentModelJSON{
+			Component:   m.Component,
+			Parallelism: m.Parallelism,
+			Alpha:       m.Instance.Alpha,
+			CPUPsi:      m.CPUPsi,
+			InputShares: m.InputShares,
+		}
+		if m.Instance.SaturatedObservable() {
+			sp := m.Instance.SP
+			st := m.Instance.ST()
+			cj.SPTPM, cj.STTPM = &sp, &st
+		}
+		resp.Components = append(resp.Components, cj)
+	}
+	return resp
+}
+
+// --- plumbing --------------------------------------------------------------
+
+func decodeBody(body io.Reader, v any) error {
+	data, err := io.ReadAll(io.LimitReader(body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		return nil // all fields optional
+	}
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, tracker.ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, tsdb.ErrNoData), errors.Is(err, core.ErrNotCalibrated), errors.Is(err, forecast.ErrInsufficentData):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]any{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

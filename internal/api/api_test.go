@@ -1,0 +1,478 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"caladrius/internal/config"
+	"caladrius/internal/core"
+	"caladrius/internal/heron"
+	"caladrius/internal/metrics"
+	"caladrius/internal/topology"
+	"caladrius/internal/tracker"
+	"caladrius/internal/tsdb"
+	"caladrius/internal/workload"
+)
+
+// testEnv runs a simulation covering both regimes (linear then
+// saturated), registers the topology, and returns a service anchored at
+// the end of the simulated window.
+func testEnv(t *testing.T) (*Service, *httptest.Server, time.Time) {
+	t.Helper()
+	sim, err := heron.NewWordCount(heron.WordCountOptions{
+		SplitterP: 3, CounterP: 8,
+		Schedule: workload.StepRate(20e6/60, 45e6/60, 20*time.Minute),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(40 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	asOf := sim.Start().Add(40 * time.Minute)
+
+	top, err := heron.WordCountTopology(8, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := topology.RoundRobinPack(top, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := tracker.New(func() time.Time { return asOf })
+	if err := tr.Register(top, plan); err != nil {
+		t.Fatal(err)
+	}
+	provider, err := metrics.NewTSDBProvider(sim.DB(), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := config.Default()
+	cfg.CalibrationLookback = 40 * time.Minute
+	cfg.CalibrationWarmup = 3
+	svc, err := New(cfg, tr, provider, nil, func() time.Time { return asOf })
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(srv.Close)
+	return svc, srv, asOf
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decode[T any](t *testing.T, resp *http.Response, wantStatus int) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if resp.StatusCode != wantStatus {
+		var raw map[string]any
+		_ = json.NewDecoder(resp.Body).Decode(&raw)
+		t.Fatalf("status = %d, want %d (body %v)", resp.StatusCode, wantStatus, raw)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestHealthAndModelList(t *testing.T) {
+	_, srv, _ := testEnv(t)
+	resp, err := http.Get(srv.URL + "/api/v1/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := decode[map[string]any](t, resp, http.StatusOK)
+	if h["status"] != "ok" {
+		t.Errorf("health = %v", h)
+	}
+	resp2, err := http.Get(srv.URL + "/api/v1/models/traffic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := decode[map[string][]string](t, resp2, http.StatusOK)
+	if len(m["models"]) < 2 {
+		t.Errorf("models = %v", m)
+	}
+}
+
+func TestPerformanceSync(t *testing.T) {
+	_, srv, _ := testEnv(t)
+	resp := postJSON(t, srv.URL+"/api/v1/model/topology/word-count/performance?sync=true", PerformanceRequest{
+		Parallelism:   map[string]int{"splitter": 4},
+		SourceRateTPM: 30e6,
+	})
+	pr := decode[PerformanceResponse](t, resp, http.StatusOK)
+	if pr.Topology != "word-count" || pr.EvaluatedRateTPM != 30e6 {
+		t.Errorf("response = %+v", pr)
+	}
+	if len(pr.Prediction.Paths) != 1 {
+		t.Fatalf("paths = %d", len(pr.Prediction.Paths))
+	}
+	// Splitter scaled to 4 → ~43 M/min saturation; 30 M/min is safe.
+	if pr.Prediction.Risk != core.RiskLow {
+		t.Errorf("risk = %v (t'0 = %g)", pr.Prediction.Risk, pr.Prediction.SaturationSource)
+	}
+	// The same rate at the current parallelism (3) is high risk.
+	resp2 := postJSON(t, srv.URL+"/api/v1/model/topology/word-count/performance?sync=true", PerformanceRequest{
+		SourceRateTPM: 33e6,
+	})
+	pr2 := decode[PerformanceResponse](t, resp2, http.StatusOK)
+	if pr2.Prediction.Risk != core.RiskHigh {
+		t.Errorf("p=3 at 33M risk = %v (t'0 = %g)", pr2.Prediction.Risk, pr2.Prediction.SaturationSource)
+	}
+}
+
+func TestPerformanceUsesLatestRateWhenUnspecified(t *testing.T) {
+	_, srv, _ := testEnv(t)
+	resp := postJSON(t, srv.URL+"/api/v1/model/topology/word-count/performance?sync=true", PerformanceRequest{})
+	pr := decode[PerformanceResponse](t, resp, http.StatusOK)
+	// Latest observed offered rate is the saturated-phase 45 M/min.
+	if pr.EvaluatedRateTPM < 40e6 {
+		t.Errorf("evaluated rate = %g, want ≈45e6", pr.EvaluatedRateTPM)
+	}
+	if pr.Prediction.Risk != core.RiskHigh {
+		t.Errorf("risk = %v", pr.Prediction.Risk)
+	}
+}
+
+func TestTrafficSyncAndForecastShape(t *testing.T) {
+	_, srv, _ := testEnv(t)
+	resp := postJSON(t, srv.URL+"/api/v1/model/traffic/word-count?sync=true", TrafficRequest{
+		SourceMinutes:  40,
+		HorizonMinutes: 10,
+		Models:         []string{"summary"},
+	})
+	tr := decode[TrafficResponse](t, resp, http.StatusOK)
+	if len(tr.Results) != 1 || tr.Results[0].Model != "summary" {
+		t.Fatalf("results = %+v", tr.Results)
+	}
+	if len(tr.Results[0].Predictions) != 10 {
+		t.Errorf("predictions = %d", len(tr.Results[0].Predictions))
+	}
+	if tr.Results[0].SummaryStats == nil || tr.Results[0].SummaryStats.Max < 40e6 {
+		t.Errorf("summary stats = %+v", tr.Results[0].SummaryStats)
+	}
+	// All configured models by default.
+	resp2 := postJSON(t, srv.URL+"/api/v1/model/traffic/word-count?sync=true", TrafficRequest{SourceMinutes: 40, HorizonMinutes: 5})
+	tr2 := decode[TrafficResponse](t, resp2, http.StatusOK)
+	if len(tr2.Results) != 2 {
+		t.Errorf("default model results = %d, want 2", len(tr2.Results))
+	}
+}
+
+func TestAsyncJobLifecycle(t *testing.T) {
+	_, srv, _ := testEnv(t)
+	resp := postJSON(t, srv.URL+"/api/v1/model/topology/word-count/performance", PerformanceRequest{SourceRateTPM: 10e6})
+	accepted := decode[map[string]string](t, resp, http.StatusAccepted)
+	jobID := accepted["job_id"]
+	if jobID == "" {
+		t.Fatalf("no job id: %v", accepted)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	var job Job
+	for {
+		r, err := http.Get(srv.URL + "/api/v1/jobs/" + jobID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		job = decode[Job](t, r, http.StatusOK)
+		if job.Status == JobDone || job.Status == JobFailed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", job.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if job.Status != JobDone {
+		t.Fatalf("job failed: %s", job.Error)
+	}
+	raw, err := json.Marshal(job.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pr PerformanceResponse
+	if err := json.Unmarshal(raw, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Prediction.Risk != core.RiskLow {
+		t.Errorf("async prediction risk = %v", pr.Prediction.Risk)
+	}
+}
+
+func TestAsyncJobFailure(t *testing.T) {
+	_, srv, _ := testEnv(t)
+	resp := postJSON(t, srv.URL+"/api/v1/model/traffic/ghost-topology", TrafficRequest{})
+	accepted := decode[map[string]string](t, resp, http.StatusAccepted)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		r, err := http.Get(srv.URL + "/api/v1/jobs/" + accepted["job_id"])
+		if err != nil {
+			t.Fatal(err)
+		}
+		job := decode[Job](t, r, http.StatusOK)
+		if job.Status == JobFailed {
+			if job.Error == "" {
+				t.Error("failed job with empty error")
+			}
+			return
+		}
+		if job.Status == JobDone {
+			t.Fatal("job for unknown topology succeeded")
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never finished")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	_, srv, _ := testEnv(t)
+	cases := []struct {
+		method, path, body string
+		want               int
+	}{
+		{"GET", "/api/v1/model/traffic/word-count", "", http.StatusMethodNotAllowed},
+		{"POST", "/api/v1/model/traffic/", "", http.StatusBadRequest},
+		{"POST", "/api/v1/model/traffic/ghost?sync=true", "{}", http.StatusNotFound},
+		{"POST", "/api/v1/model/traffic/word-count?sync=true", `{"bogus_field": 1}`, http.StatusBadRequest},
+		{"POST", "/api/v1/model/topology/word-count/bogus", "{}", http.StatusNotFound},
+		{"POST", "/api/v1/model/topology/word-count", "{}", http.StatusBadRequest},
+		{"GET", "/api/v1/jobs/nope", "", http.StatusNotFound},
+		{"POST", "/api/v1/jobs/nope", "", http.StatusMethodNotAllowed},
+		{"POST", "/api/v1/model/topology/word-count/performance?sync=true", `{"source_rate_tpm": -5}`, http.StatusInternalServerError},
+	}
+	for _, c := range cases {
+		req, err := http.NewRequest(c.method, srv.URL+c.path, bytes.NewReader([]byte(c.body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("%s %s: status %d, want %d", c.method, c.path, resp.StatusCode, c.want)
+		}
+	}
+}
+
+func TestCalibrateEndpointAndCache(t *testing.T) {
+	svc, srv, asOf := testEnv(t)
+	// First performance call calibrates and caches.
+	resp := postJSON(t, srv.URL+"/api/v1/model/topology/word-count/performance?sync=true", PerformanceRequest{SourceRateTPM: 10e6})
+	decode[PerformanceResponse](t, resp, http.StatusOK)
+	svc.mu.Lock()
+	_, cached := svc.modelCache["word-count"]
+	svc.mu.Unlock()
+	if !cached {
+		t.Fatal("model not cached after first call")
+	}
+	// Force recalibration.
+	resp2 := postJSON(t, srv.URL+"/api/v1/model/topology/word-count/calibrate?sync=true", PerformanceRequest{AsOf: asOf})
+	out := decode[map[string]any](t, resp2, http.StatusOK)
+	if out["calibrated"] != true {
+		t.Errorf("calibrate = %v", out)
+	}
+}
+
+func TestModelInspectionEndpoint(t *testing.T) {
+	_, srv, _ := testEnv(t)
+	resp, err := http.Get(srv.URL + "/api/v1/model/topology/word-count/model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr := decode[ModelResponse](t, resp, http.StatusOK)
+	if mr.Topology != "word-count" || len(mr.Components) != 3 {
+		t.Fatalf("model response = %+v", mr)
+	}
+	byName := map[string]ComponentModelJSON{}
+	for _, c := range mr.Components {
+		byName[c.Component] = c
+	}
+	splitter := byName["splitter"]
+	if splitter.Alpha < 7.5 || splitter.Alpha > 7.8 {
+		t.Errorf("alpha = %g", splitter.Alpha)
+	}
+	if splitter.SPTPM == nil || *splitter.SPTPM < 9e6 || *splitter.SPTPM > 12e6 {
+		t.Errorf("SP = %v", splitter.SPTPM)
+	}
+	if splitter.CPUPsi <= 0 {
+		t.Errorf("psi = %g", splitter.CPUPsi)
+	}
+	// The spout never saturated, so its SP is null.
+	if byName["spout"].SPTPM != nil {
+		t.Errorf("spout SP should be null, got %v", *byName["spout"].SPTPM)
+	}
+	// Wrong method.
+	r, err := http.Post(srv.URL+"/api/v1/model/topology/word-count/model", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST model status = %d", r.StatusCode)
+	}
+	// Unknown topology.
+	r2, err := http.Get(srv.URL + "/api/v1/model/topology/ghost/model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusNotFound {
+		t.Errorf("ghost model status = %d", r2.StatusCode)
+	}
+}
+
+func TestServiceConstructorValidation(t *testing.T) {
+	cfg := config.Default()
+	if _, err := New(cfg, nil, nil, nil, nil); err == nil {
+		t.Error("nil deps accepted")
+	}
+	bad := cfg
+	bad.APIAddr = ""
+	tr := tracker.New(nil)
+	prov, err := metrics.NewTSDBProvider(tsdb.New(0), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(bad, tr, prov, nil, nil); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestSuggestEndpoint(t *testing.T) {
+	_, srv, _ := testEnv(t)
+	resp := postJSON(t, srv.URL+"/api/v1/model/topology/word-count/suggest?sync=true", SuggestRequest{
+		SourceRateTPM: 40e6,
+		Headroom:      0.15,
+	})
+	sr := decode[SuggestResponse](t, resp, http.StatusOK)
+	if sr.EvaluatedRateTPM != 40e6 {
+		t.Errorf("rate = %g", sr.EvaluatedRateTPM)
+	}
+	// Splitter SP ≈ 10.8M → ceil(40×1.15/10.8) = 5.
+	if sr.Parallelism["splitter"] != 5 {
+		t.Errorf("suggested splitter = %d, want 5", sr.Parallelism["splitter"])
+	}
+	if sr.Prediction.Risk != core.RiskLow {
+		t.Errorf("suggested plan risk = %v", sr.Prediction.Risk)
+	}
+	// Default rate (latest observed ≈ 45M).
+	resp2 := postJSON(t, srv.URL+"/api/v1/model/topology/word-count/suggest?sync=true", SuggestRequest{})
+	sr2 := decode[SuggestResponse](t, resp2, http.StatusOK)
+	if sr2.EvaluatedRateTPM < 40e6 {
+		t.Errorf("default rate = %g", sr2.EvaluatedRateTPM)
+	}
+}
+
+func TestGraphEndpoint(t *testing.T) {
+	_, srv, _ := testEnv(t)
+	resp, err := http.Get(srv.URL + "/api/v1/model/topology/word-count/graph")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr := decode[GraphResponse](t, resp, http.StatusOK)
+	if gr.LogicalVertices != 3 || gr.LogicalEdges != 2 {
+		t.Errorf("logical graph %d/%d", gr.LogicalVertices, gr.LogicalEdges)
+	}
+	// 8 spouts + 3 splitters + 8 counters + 2 stream managers.
+	if gr.PhysicalVertices != 8+3+8+2 {
+		t.Errorf("physical vertices = %d", gr.PhysicalVertices)
+	}
+	// Instance paths: 8 × 3 × 8.
+	if gr.InstancePathCount != 192 {
+		t.Errorf("instance paths = %d", gr.InstancePathCount)
+	}
+	if len(gr.ComponentPaths) != 1 || len(gr.RemoteFractions) != 2 {
+		t.Errorf("paths %v fractions %v", gr.ComponentPaths, gr.RemoteFractions)
+	}
+	// Unknown topology.
+	r, err := http.Get(srv.URL + "/api/v1/model/topology/ghost/graph")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Errorf("ghost graph status = %d", r.StatusCode)
+	}
+}
+
+func TestRankEndpoint(t *testing.T) {
+	_, srv, _ := testEnv(t)
+	resp := postJSON(t, srv.URL+"/api/v1/model/traffic/word-count/rank?sync=true", TrafficRequest{SourceMinutes: 40})
+	rr := decode[RankResponse](t, resp, http.StatusOK)
+	if rr.Topology != "word-count" || len(rr.Ranking) != 2 {
+		t.Fatalf("ranking = %+v", rr)
+	}
+	// The step-function traffic history is non-seasonal; both default
+	// models should at least evaluate.
+	for _, e := range rr.Ranking {
+		if e.Error != "" {
+			t.Errorf("%s failed: %s", e.Model, e.Error)
+		}
+	}
+	// Order is MAPE ascending.
+	if rr.Ranking[0].MAPE > rr.Ranking[1].MAPE {
+		t.Errorf("ranking not sorted: %+v", rr.Ranking)
+	}
+	// Bad sub-action.
+	r, err := http.Post(srv.URL+"/api/v1/model/traffic/word-count/bogus?sync=true", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Errorf("bogus traffic action status = %d", r.StatusCode)
+	}
+}
+
+func TestGraphQueryEndpoint(t *testing.T) {
+	_, srv, _ := testEnv(t)
+	post := func(body GraphQueryRequest) *http.Response {
+		return postJSON(t, srv.URL+"/api/v1/model/topology/word-count/query?sync=true", body)
+	}
+	// Physical graph (default): splitter instances.
+	resp := post(GraphQueryRequest{Query: "g.V().hasLabel('instance').has('component','splitter').count()"})
+	qr := decode[GraphQueryResponse](t, resp, http.StatusOK)
+	if qr.Result != float64(3) { // JSON numbers decode as float64
+		t.Errorf("physical count = %v", qr.Result)
+	}
+	// Logical graph: components.
+	resp2 := post(GraphQueryRequest{Query: "g.V().hasLabel('component').values('name')", Graph: "logical"})
+	qr2 := decode[GraphQueryResponse](t, resp2, http.StatusOK)
+	vals, ok := qr2.Result.([]any)
+	if !ok || len(vals) != 3 {
+		t.Errorf("logical values = %#v", qr2.Result)
+	}
+	// Errors.
+	for _, body := range []GraphQueryRequest{
+		{Query: ""},
+		{Query: "g.V().bogus()"},
+		{Query: "g.V().count()", Graph: "imaginary"},
+	} {
+		r := postJSON(t, srv.URL+"/api/v1/model/topology/word-count/query?sync=true", body)
+		r.Body.Close()
+		if r.StatusCode == http.StatusOK {
+			t.Errorf("query %+v accepted", body)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package api
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// JobStatus is the lifecycle state of an asynchronous modelling job.
+type JobStatus string
+
+// Job states.
+const (
+	JobPending JobStatus = "pending"
+	JobRunning JobStatus = "running"
+	JobDone    JobStatus = "done"
+	JobFailed  JobStatus = "failed"
+)
+
+// Job is one asynchronous modelling request. The paper's API tier is
+// asynchronous because model evaluations can take seconds; clients
+// poll the job endpoint while the server pipelines calculations
+// concurrently.
+type Job struct {
+	ID        string    `json:"id"`
+	Status    JobStatus `json:"status"`
+	CreatedAt time.Time `json:"created_at"`
+	// Result is the model output once Status == done.
+	Result any `json:"result,omitempty"`
+	// Error is the failure message once Status == failed.
+	Error string `json:"error,omitempty"`
+}
+
+type jobStore struct {
+	mu   sync.Mutex
+	seq  int
+	jobs map[string]*Job
+	now  func() time.Time
+}
+
+func newJobStore(now func() time.Time) *jobStore {
+	if now == nil {
+		now = time.Now
+	}
+	return &jobStore{jobs: map[string]*Job{}, now: now}
+}
+
+// create registers a new pending job and returns its snapshot.
+func (s *jobStore) create() Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	j := &Job{ID: fmt.Sprintf("job-%d", s.seq), Status: JobPending, CreatedAt: s.now()}
+	s.jobs[j.ID] = j
+	return *j
+}
+
+// run executes fn in its own goroutine, tracking status transitions.
+func (s *jobStore) run(id string, fn func() (any, error)) {
+	s.setStatus(id, JobRunning, nil, "")
+	go func() {
+		result, err := fn()
+		if err != nil {
+			s.setStatus(id, JobFailed, nil, err.Error())
+			return
+		}
+		s.setStatus(id, JobDone, result, "")
+	}()
+}
+
+func (s *jobStore) setStatus(id string, st JobStatus, result any, errMsg string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return
+	}
+	j.Status = st
+	j.Result = result
+	j.Error = errMsg
+}
+
+// get returns a snapshot of the job.
+func (s *jobStore) get(id string) (Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return *j, true
+}

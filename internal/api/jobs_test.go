@@ -1,0 +1,62 @@
+package api
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestJobStoreLifecycle(t *testing.T) {
+	now := time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)
+	s := newJobStore(func() time.Time { return now })
+	j := s.create()
+	if j.ID != "job-1" || j.Status != JobPending || !j.CreatedAt.Equal(now) {
+		t.Fatalf("job = %+v", j)
+	}
+	done := make(chan struct{})
+	s.run(j.ID, func() (any, error) {
+		<-done
+		return "result", nil
+	})
+	got, ok := s.get(j.ID)
+	if !ok || got.Status != JobRunning {
+		t.Fatalf("running job = %+v (ok=%v)", got, ok)
+	}
+	close(done)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		got, _ = s.get(j.ID)
+		if got.Status == JobDone {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck: %+v", got)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got.Result != "result" {
+		t.Errorf("result = %v", got.Result)
+	}
+	// Failure path.
+	j2 := s.create()
+	s.run(j2.ID, func() (any, error) { return nil, errors.New("boom") })
+	deadline = time.Now().Add(2 * time.Second)
+	for {
+		got, _ = s.get(j2.ID)
+		if got.Status == JobFailed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job2 stuck: %+v", got)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got.Error != "boom" {
+		t.Errorf("error = %q", got.Error)
+	}
+	// Unknown ids are inert.
+	if _, ok := s.get("nope"); ok {
+		t.Error("unknown job found")
+	}
+	s.setStatus("nope", JobDone, nil, "") // must not panic
+}

@@ -1,0 +1,218 @@
+// Package config loads Caladrius' service configuration. The original
+// system is configured through YAML files that select model
+// implementations and carry per-model options; this package parses the
+// same shape with the yamlite subset parser and validates it into
+// typed structs.
+//
+// Example:
+//
+//	api:
+//	  addr: ":8642"
+//	  request_timeout_seconds: 30
+//	metrics:
+//	  window_seconds: 60
+//	traffic_models:
+//	  - name: prophet
+//	    options: {changepoints: 20}
+//	  - name: summary
+//	calibration:
+//	  warmup_windows: 4
+//	  lookback_minutes: 120
+package config
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"caladrius/internal/yamlite"
+)
+
+// ModelRef selects a registered forecast model with its options.
+type ModelRef struct {
+	Name    string
+	Options map[string]any
+}
+
+// Config is the validated service configuration.
+type Config struct {
+	// APIAddr is the listen address of the REST service.
+	APIAddr string
+	// RequestTimeout bounds model evaluations per request.
+	RequestTimeout time.Duration
+	// MetricsWindow is the metrics rollup interval of the metrics
+	// database being queried.
+	MetricsWindow time.Duration
+	// TrafficModels lists the forecast models run for traffic
+	// requests, in order.
+	TrafficModels []ModelRef
+	// CalibrationWarmup is the number of leading metric windows
+	// dropped before calibrating performance models.
+	CalibrationWarmup int
+	// CalibrationLookback is how much metric history calibration uses.
+	CalibrationLookback time.Duration
+}
+
+// Default returns the configuration used when no file is given.
+func Default() Config {
+	return Config{
+		APIAddr:             ":8642",
+		RequestTimeout:      30 * time.Second,
+		MetricsWindow:       time.Minute,
+		TrafficModels:       []ModelRef{{Name: "prophet"}, {Name: "summary"}},
+		CalibrationWarmup:   4,
+		CalibrationLookback: 2 * time.Hour,
+	}
+}
+
+// Load reads and parses a configuration file.
+func Load(path string) (Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, fmt.Errorf("config: %w", err)
+	}
+	return Parse(string(data))
+}
+
+// Parse parses configuration text, applying defaults for absent keys.
+func Parse(src string) (Config, error) {
+	doc, err := yamlite.ParseMap(src)
+	if err != nil {
+		return Config{}, err
+	}
+	cfg := Default()
+
+	if api, ok, err := section(doc, "api"); err != nil {
+		return Config{}, err
+	} else if ok {
+		if v, ok, err := stringKey(api, "addr"); err != nil {
+			return Config{}, err
+		} else if ok {
+			cfg.APIAddr = v
+		}
+		if v, ok, err := floatKey(api, "request_timeout_seconds"); err != nil {
+			return Config{}, err
+		} else if ok {
+			cfg.RequestTimeout = time.Duration(v * float64(time.Second))
+		}
+	}
+
+	if m, ok, err := section(doc, "metrics"); err != nil {
+		return Config{}, err
+	} else if ok {
+		if v, ok, err := floatKey(m, "window_seconds"); err != nil {
+			return Config{}, err
+		} else if ok {
+			cfg.MetricsWindow = time.Duration(v * float64(time.Second))
+		}
+	}
+
+	if raw, present := doc["traffic_models"]; present {
+		list, ok := raw.([]any)
+		if !ok {
+			return Config{}, fmt.Errorf("config: traffic_models is %T, want list", raw)
+		}
+		cfg.TrafficModels = nil
+		for i, item := range list {
+			m, ok := item.(map[string]any)
+			if !ok {
+				return Config{}, fmt.Errorf("config: traffic_models[%d] is %T, want mapping", i, item)
+			}
+			name, ok, err := stringKey(m, "name")
+			if err != nil {
+				return Config{}, err
+			}
+			if !ok || name == "" {
+				return Config{}, fmt.Errorf("config: traffic_models[%d] missing name", i)
+			}
+			ref := ModelRef{Name: name}
+			if rawOpts, present := m["options"]; present {
+				opts, ok := rawOpts.(map[string]any)
+				if !ok {
+					return Config{}, fmt.Errorf("config: traffic_models[%d].options is %T, want mapping", i, rawOpts)
+				}
+				ref.Options = opts
+			}
+			cfg.TrafficModels = append(cfg.TrafficModels, ref)
+		}
+	}
+
+	if c, ok, err := section(doc, "calibration"); err != nil {
+		return Config{}, err
+	} else if ok {
+		if v, ok, err := floatKey(c, "warmup_windows"); err != nil {
+			return Config{}, err
+		} else if ok {
+			cfg.CalibrationWarmup = int(v)
+		}
+		if v, ok, err := floatKey(c, "lookback_minutes"); err != nil {
+			return Config{}, err
+		} else if ok {
+			cfg.CalibrationLookback = time.Duration(v * float64(time.Minute))
+		}
+	}
+
+	return cfg, cfg.Validate()
+}
+
+// Validate checks invariants.
+func (c Config) Validate() error {
+	if c.APIAddr == "" {
+		return fmt.Errorf("config: empty api addr")
+	}
+	if c.RequestTimeout <= 0 {
+		return fmt.Errorf("config: non-positive request timeout %s", c.RequestTimeout)
+	}
+	if c.MetricsWindow <= 0 {
+		return fmt.Errorf("config: non-positive metrics window %s", c.MetricsWindow)
+	}
+	if len(c.TrafficModels) == 0 {
+		return fmt.Errorf("config: no traffic models configured")
+	}
+	if c.CalibrationWarmup < 0 {
+		return fmt.Errorf("config: negative calibration warmup %d", c.CalibrationWarmup)
+	}
+	if c.CalibrationLookback <= 0 {
+		return fmt.Errorf("config: non-positive calibration lookback %s", c.CalibrationLookback)
+	}
+	return nil
+}
+
+func section(doc map[string]any, key string) (map[string]any, bool, error) {
+	raw, present := doc[key]
+	if !present {
+		return nil, false, nil
+	}
+	m, ok := raw.(map[string]any)
+	if !ok {
+		return nil, false, fmt.Errorf("config: %s is %T, want mapping", key, raw)
+	}
+	return m, true, nil
+}
+
+func stringKey(m map[string]any, key string) (string, bool, error) {
+	raw, present := m[key]
+	if !present {
+		return "", false, nil
+	}
+	s, ok := raw.(string)
+	if !ok {
+		return "", false, fmt.Errorf("config: %s is %T, want string", key, raw)
+	}
+	return s, true, nil
+}
+
+func floatKey(m map[string]any, key string) (float64, bool, error) {
+	raw, present := m[key]
+	if !present {
+		return 0, false, nil
+	}
+	switch v := raw.(type) {
+	case float64:
+		return v, true, nil
+	case int64:
+		return float64(v), true, nil
+	default:
+		return 0, false, fmt.Errorf("config: %s is %T, want number", key, raw)
+	}
+}

@@ -1,0 +1,223 @@
+package dhalion
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"caladrius/internal/core"
+	"caladrius/internal/heron"
+	"caladrius/internal/metrics"
+	"caladrius/internal/topology"
+)
+
+// CaladriusTuner is the model-driven counterpart of Scaler: each
+// deployment is also a calibration opportunity, and the next
+// configuration comes from the performance model's dry-run planning
+// rather than a fixed reactive step. A deployment can only calibrate
+// the saturation point of the component that actually bottlenecks it
+// (§V-B needs a saturated observation, and only the binding component
+// saturates), so severely under-provisioned topologies converge in a
+// few rounds — one per distinct bottleneck — instead of Dhalion's one
+// round per scaling increment.
+type CaladriusTuner struct {
+	// RatePerMinute is the offered source rate.
+	RatePerMinute float64
+	// SLOThroughputTPM is the required sink throughput.
+	SLOThroughputTPM float64
+	// Headroom is the planning margin (default 0.15).
+	Headroom float64
+	// MaxRounds bounds the loop (default 6).
+	MaxRounds int
+	// BackpressureThresholdMs matches Scaler's symptom threshold
+	// (default 5000).
+	BackpressureThresholdMs float64
+	// StabiliseMinutes / MeasureMinutes shape each simulated
+	// deployment (defaults 5 / 7).
+	StabiliseMinutes, MeasureMinutes int
+}
+
+func (c CaladriusTuner) withDefaults() CaladriusTuner {
+	if c.Headroom == 0 {
+		c.Headroom = 0.15
+	}
+	if c.MaxRounds == 0 {
+		c.MaxRounds = 6
+	}
+	if c.BackpressureThresholdMs == 0 {
+		c.BackpressureThresholdMs = 5000
+	}
+	if c.StabiliseMinutes == 0 {
+		c.StabiliseMinutes = 5
+	}
+	if c.MeasureMinutes == 0 {
+		c.MeasureMinutes = 7
+	}
+	return c
+}
+
+// knownModel accumulates per-component knowledge across rounds. α and
+// ψ refresh every round; the per-instance SP — which is intrinsic to
+// the component, not to the parallelism it was observed at — is kept
+// once a saturated observation pins it.
+type knownModel struct {
+	alpha, psi float64
+	sp         float64 // +Inf until observed
+	shares     []float64
+	sharesP    int
+}
+
+// Run tunes the word-count topology from the initial parallelisms.
+func (c CaladriusTuner) Run(initial map[string]int) (Result, error) {
+	c = c.withDefaults()
+	if c.SLOThroughputTPM <= 0 || c.RatePerMinute <= 0 {
+		return Result{}, fmt.Errorf("dhalion: caladrius tuner needs positive rate and SLO")
+	}
+	current := cloneInts(initial)
+	known := map[string]*knownModel{}
+	res := Result{}
+	for round := 0; round < c.MaxRounds; round++ {
+		m, prov, top, start, end, err := c.deploy(current)
+		if err != nil {
+			return res, err
+		}
+		r := Round{Parallelisms: cloneInts(current), Measurement: m}
+		sloMet := m.SinkThroughputTPM >= c.SLOThroughputTPM*0.98
+		hasBp := m.BackpressureMsPerMin >= c.BackpressureThresholdMs
+		if sloMet && !hasBp {
+			r.Diagnosis = "healthy: SLO met without backpressure"
+			res.Rounds = append(res.Rounds, r)
+			res.Converged = true
+			res.Reason = r.Diagnosis
+			res.FinalParallelisms = cloneInts(current)
+			return res, nil
+		}
+		if !hasBp {
+			r.Diagnosis = "SLO missed without backpressure: source-limited"
+			res.Rounds = append(res.Rounds, r)
+			res.Reason = r.Diagnosis
+			res.FinalParallelisms = cloneInts(current)
+			return res, nil
+		}
+		// Calibrate what this deployment can teach us.
+		models, err := core.CalibrateTopologyFromProvider(prov, top, start, end, core.CalibrationOptions{Warmup: c.StabiliseMinutes})
+		if err != nil {
+			return res, fmt.Errorf("dhalion: round %d calibrate: %w", round+1, err)
+		}
+		newlyPinned := ""
+		for comp, cm := range models {
+			k, ok := known[comp]
+			if !ok {
+				k = &knownModel{sp: math.Inf(1)}
+				known[comp] = k
+			}
+			k.alpha = cm.Instance.Alpha
+			if cm.CPUPsi > 0 {
+				k.psi = cm.CPUPsi
+			}
+			if cm.Instance.SaturatedObservable() {
+				if math.IsInf(k.sp, 1) {
+					newlyPinned = comp
+				}
+				k.sp = cm.Instance.SP
+			}
+			if len(cm.InputShares) > 0 {
+				k.shares, k.sharesP = cm.InputShares, cm.Parallelism
+			}
+		}
+		// Plan the next round from everything known so far.
+		composite := map[string]*core.ComponentModel{}
+		for comp, k := range known {
+			cm := &core.ComponentModel{
+				Component:   comp,
+				Parallelism: current[comp],
+				Instance:    core.InstanceModel{Alpha: k.alpha, SP: k.sp},
+				CPUPsi:      k.psi,
+			}
+			if k.sharesP == current[comp] {
+				cm.InputShares = k.shares
+			}
+			composite[comp] = cm
+		}
+		tm, err := core.NewTopologyModel(top, composite)
+		if err != nil {
+			return res, err
+		}
+		plan, err := tm.SuggestParallelism(c.RatePerMinute, c.Headroom)
+		if err != nil {
+			return res, err
+		}
+		plan["spout"] = current["spout"] // spouts stay fixed, as in §V
+		// Components with unknown SP cannot be sized yet; keep their
+		// current parallelism so the next bottleneck reveals itself.
+		for comp, k := range known {
+			if math.IsInf(k.sp, 1) && comp != "spout" {
+				if plan[comp] < current[comp] {
+					plan[comp] = current[comp]
+				}
+			}
+		}
+		r.Diagnosis = fmt.Sprintf("model plan → splitter=%d counter=%d", plan["splitter"], plan["counter"])
+		if newlyPinned != "" {
+			r.Diagnosis = fmt.Sprintf("calibrated %s SP; %s", newlyPinned, r.Diagnosis)
+		}
+		res.Rounds = append(res.Rounds, r)
+		current = plan
+	}
+	res.Reason = "round budget exhausted"
+	res.FinalParallelisms = cloneInts(current)
+	return res, nil
+}
+
+// deploy runs one word-count deployment and returns both the summary
+// measurement and the raw metrics needed for calibration.
+func (c CaladriusTuner) deploy(parallelisms map[string]int) (Measurement, metrics.Provider, *topology.Topology, time.Time, time.Time, error) {
+	sim, err := heron.NewWordCount(heron.WordCountOptions{
+		SpoutP:        parallelisms["spout"],
+		SplitterP:     parallelisms["splitter"],
+		CounterP:      parallelisms["counter"],
+		RatePerMinute: c.RatePerMinute,
+	})
+	if err != nil {
+		return Measurement{}, nil, nil, time.Time{}, time.Time{}, err
+	}
+	total := time.Duration(c.StabiliseMinutes+c.MeasureMinutes) * time.Minute
+	if err := sim.Run(total); err != nil {
+		return Measurement{}, nil, nil, time.Time{}, time.Time{}, err
+	}
+	prov, err := metrics.NewTSDBProvider(sim.DB(), time.Minute)
+	if err != nil {
+		return Measurement{}, nil, nil, time.Time{}, time.Time{}, err
+	}
+	start, end := sim.Start(), sim.Start().Add(total)
+	m := Measurement{ComponentBackpressureMs: map[string]float64{}}
+	for _, comp := range []string{"spout", "splitter", "counter"} {
+		ws, err := prov.ComponentWindows("word-count", comp, start, end)
+		if err != nil {
+			return Measurement{}, nil, nil, time.Time{}, time.Time{}, err
+		}
+		ss, err := metrics.Summarise(ws, c.StabiliseMinutes)
+		if err != nil {
+			return Measurement{}, nil, nil, time.Time{}, time.Time{}, err
+		}
+		m.ComponentBackpressureMs[comp] = ss.BackpressureMs
+		if comp == "counter" {
+			m.SinkThroughputTPM = ss.Execute
+		}
+	}
+	pts, err := prov.TopologyBackpressureMs("word-count", start.Add(time.Duration(c.StabiliseMinutes)*time.Minute), end)
+	if err != nil {
+		return Measurement{}, nil, nil, time.Time{}, time.Time{}, err
+	}
+	for _, p := range pts {
+		m.BackpressureMsPerMin += p.V
+	}
+	if len(pts) > 0 {
+		m.BackpressureMsPerMin /= float64(len(pts))
+	}
+	top, err := heron.WordCountTopology(parallelisms["spout"], parallelisms["splitter"], parallelisms["counter"])
+	if err != nil {
+		return Measurement{}, nil, nil, time.Time{}, time.Time{}, err
+	}
+	return m, prov, top, start, end, nil
+}

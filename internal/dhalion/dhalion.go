@@ -1,0 +1,272 @@
+// Package dhalion implements a Dhalion-style self-regulating scaler,
+// the baseline Caladrius is motivated against. Dhalion monitors a
+// deployed topology, recognises symptoms (backpressure, missed
+// throughput SLOs), diagnoses the bottleneck component and applies a
+// resolution — scaling that component out — then redeploys and waits
+// for the topology to stabilise before re-evaluating. Convergence to
+// an SLO therefore costs one deploy-measure-diagnose round per
+// adjustment, the "plan → deploy → stabilize → analyze loop" the paper
+// says can take weeks on production topologies.
+//
+// The package is deliberately engine-agnostic: it drives any Deployer,
+// and the heron-simulator implementation lives alongside so benchmarks
+// can race Dhalion's round count against Caladrius' single dry-run
+// iteration.
+package dhalion
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"caladrius/internal/heron"
+	"caladrius/internal/metrics"
+	"caladrius/internal/workload"
+)
+
+// Measurement is what one deployment round observes after the topology
+// stabilises.
+type Measurement struct {
+	// BackpressureMsPerMin is the steady-state topology backpressure
+	// time (ms per minute window).
+	BackpressureMsPerMin float64
+	// ComponentBackpressureMs maps component → its per-window
+	// backpressure time (the diagnosis signal).
+	ComponentBackpressureMs map[string]float64
+	// SinkThroughputTPM is the summed processing throughput of sink
+	// components in tuples/minute (the SLO metric).
+	SinkThroughputTPM float64
+}
+
+// Deployer deploys a configuration and measures its stabilised
+// behaviour. Each call represents a full deploy-stabilise-measure
+// round.
+type Deployer interface {
+	Deploy(parallelisms map[string]int) (Measurement, error)
+}
+
+// Round records one iteration of the scaling loop.
+type Round struct {
+	Parallelisms map[string]int
+	Measurement  Measurement
+	// Diagnosis explains the action taken after this round.
+	Diagnosis string
+}
+
+// Result is the outcome of a scaling session.
+type Result struct {
+	Rounds []Round
+	// Converged reports whether the SLO was met without backpressure.
+	Converged bool
+	// FinalParallelisms is the configuration of the last round.
+	FinalParallelisms map[string]int
+	// Reason describes why the loop stopped.
+	Reason string
+}
+
+// Deployments returns the number of deployments performed — the cost
+// metric Caladrius reduces.
+func (r Result) Deployments() int { return len(r.Rounds) }
+
+// Scaler is the symptom → diagnosis → resolution loop.
+type Scaler struct {
+	// SLOThroughputTPM is the required sink throughput.
+	SLOThroughputTPM float64
+	// SLOTolerance allows the throughput to fall this fraction short
+	// and still count as met. Default 0.02.
+	SLOTolerance float64
+	// BackpressureThresholdMs is the per-window backpressure time that
+	// counts as the backpressure symptom. Default 5000.
+	BackpressureThresholdMs float64
+	// ScaleFactor multiplies the bottleneck's parallelism each round
+	// (Dhalion scales gradually). Default 1.5, minimum +1 instance.
+	ScaleFactor float64
+	// MaxRounds bounds the loop. Default 12.
+	MaxRounds int
+	// MaxParallelism caps any single component. Default 64.
+	MaxParallelism int
+}
+
+func (s Scaler) withDefaults() Scaler {
+	if s.SLOTolerance == 0 {
+		s.SLOTolerance = 0.02
+	}
+	if s.BackpressureThresholdMs == 0 {
+		s.BackpressureThresholdMs = 5000
+	}
+	if s.ScaleFactor == 0 {
+		s.ScaleFactor = 1.5
+	}
+	if s.MaxRounds == 0 {
+		s.MaxRounds = 12
+	}
+	if s.MaxParallelism == 0 {
+		s.MaxParallelism = 64
+	}
+	return s
+}
+
+// Run executes the scaling loop from the initial configuration.
+func (s Scaler) Run(initial map[string]int, d Deployer) (Result, error) {
+	s = s.withDefaults()
+	if s.SLOThroughputTPM <= 0 {
+		return Result{}, fmt.Errorf("dhalion: non-positive SLO %g", s.SLOThroughputTPM)
+	}
+	if s.ScaleFactor <= 1 {
+		return Result{}, fmt.Errorf("dhalion: scale factor %g must exceed 1", s.ScaleFactor)
+	}
+	if d == nil {
+		return Result{}, errors.New("dhalion: nil deployer")
+	}
+	current := map[string]int{}
+	for k, v := range initial {
+		if v < 1 {
+			return Result{}, fmt.Errorf("dhalion: component %q parallelism %d", k, v)
+		}
+		current[k] = v
+	}
+	res := Result{}
+	for round := 0; round < s.MaxRounds; round++ {
+		m, err := d.Deploy(cloneInts(current))
+		if err != nil {
+			return res, fmt.Errorf("dhalion: round %d deploy: %w", round+1, err)
+		}
+		r := Round{Parallelisms: cloneInts(current), Measurement: m}
+
+		sloMet := m.SinkThroughputTPM >= s.SLOThroughputTPM*(1-s.SLOTolerance)
+		hasBp := m.BackpressureMsPerMin >= s.BackpressureThresholdMs
+
+		switch {
+		case sloMet && !hasBp:
+			r.Diagnosis = "healthy: SLO met without backpressure"
+			res.Rounds = append(res.Rounds, r)
+			res.Converged = true
+			res.Reason = r.Diagnosis
+			res.FinalParallelisms = cloneInts(current)
+			return res, nil
+		case hasBp:
+			bottleneck := ""
+			worst := -1.0
+			for comp, bp := range m.ComponentBackpressureMs {
+				if bp > worst {
+					worst, bottleneck = bp, comp
+				}
+			}
+			if bottleneck == "" || worst < s.BackpressureThresholdMs {
+				r.Diagnosis = "backpressure without identifiable initiator"
+				res.Rounds = append(res.Rounds, r)
+				res.Reason = r.Diagnosis
+				res.FinalParallelisms = cloneInts(current)
+				return res, nil
+			}
+			p := current[bottleneck]
+			next := int(float64(p) * s.ScaleFactor)
+			if next <= p {
+				next = p + 1
+			}
+			if next > s.MaxParallelism {
+				r.Diagnosis = fmt.Sprintf("bottleneck %s already at max parallelism", bottleneck)
+				res.Rounds = append(res.Rounds, r)
+				res.Reason = r.Diagnosis
+				res.FinalParallelisms = cloneInts(current)
+				return res, nil
+			}
+			r.Diagnosis = fmt.Sprintf("backpressure at %s: scale %d → %d", bottleneck, p, next)
+			current[bottleneck] = next
+		default:
+			// No backpressure but SLO missed: the source itself does
+			// not offer enough traffic; scaling cannot help.
+			r.Diagnosis = "SLO missed without backpressure: source-limited"
+			res.Rounds = append(res.Rounds, r)
+			res.Reason = r.Diagnosis
+			res.FinalParallelisms = cloneInts(current)
+			return res, nil
+		}
+		res.Rounds = append(res.Rounds, r)
+	}
+	res.Reason = "round budget exhausted"
+	res.FinalParallelisms = cloneInts(current)
+	return res, nil
+}
+
+func cloneInts(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// WordCountDeployer deploys word-count configurations on the heron
+// simulator: each Deploy runs a fresh simulation to steady state and
+// summarises it, exactly the cost profile of a real deployment round
+// (compressed in time).
+type WordCountDeployer struct {
+	// RatePerMinute is the offered source rate.
+	RatePerMinute float64
+	// StabiliseMinutes is the simulated warm-up before measurement.
+	// Default 5.
+	StabiliseMinutes int
+	// MeasureMinutes is the measurement window. Default 5.
+	MeasureMinutes int
+	// Deploys counts Deploy calls.
+	Deploys int
+}
+
+// Deploy implements Deployer.
+func (w *WordCountDeployer) Deploy(parallelisms map[string]int) (Measurement, error) {
+	w.Deploys++
+	stab := w.StabiliseMinutes
+	if stab == 0 {
+		stab = 5
+	}
+	meas := w.MeasureMinutes
+	if meas == 0 {
+		meas = 5
+	}
+	opts := heron.WordCountOptions{
+		SpoutP:    parallelisms["spout"],
+		SplitterP: parallelisms["splitter"],
+		CounterP:  parallelisms["counter"],
+		Schedule:  workload.ConstantRate(w.RatePerMinute / 60),
+	}
+	sim, err := heron.NewWordCount(opts)
+	if err != nil {
+		return Measurement{}, err
+	}
+	total := time.Duration(stab+meas) * time.Minute
+	if err := sim.Run(total); err != nil {
+		return Measurement{}, err
+	}
+	prov, err := metrics.NewTSDBProvider(sim.DB(), time.Minute)
+	if err != nil {
+		return Measurement{}, err
+	}
+	start, end := sim.Start(), sim.Start().Add(total)
+	m := Measurement{ComponentBackpressureMs: map[string]float64{}}
+	for _, comp := range []string{"spout", "splitter", "counter"} {
+		ws, err := prov.ComponentWindows("word-count", comp, start, end)
+		if err != nil {
+			return Measurement{}, err
+		}
+		ss, err := metrics.Summarise(ws, stab)
+		if err != nil {
+			return Measurement{}, err
+		}
+		m.ComponentBackpressureMs[comp] = ss.BackpressureMs
+		if comp == "counter" {
+			m.SinkThroughputTPM = ss.Execute
+		}
+	}
+	pts, err := prov.TopologyBackpressureMs("word-count", start.Add(time.Duration(stab)*time.Minute), end)
+	if err != nil {
+		return Measurement{}, err
+	}
+	for _, p := range pts {
+		m.BackpressureMsPerMin += p.V
+	}
+	if len(pts) > 0 {
+		m.BackpressureMsPerMin /= float64(len(pts))
+	}
+	return m, nil
+}

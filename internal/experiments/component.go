@@ -1,0 +1,281 @@
+package experiments
+
+import (
+	"fmt"
+
+	"caladrius/internal/core"
+	"caladrius/internal/heron"
+)
+
+// Fig07ComponentModel reproduces Fig. 7: splitter component throughput
+// measured at parallelism 3, with the regression-derived model and its
+// Eq. 9-scaled predictions for parallelisms 2 and 4.
+func Fig07ComponentModel(sweep SweepOptions) (Table, error) {
+	t := Table{
+		Name:  "fig07",
+		Title: "Component (splitter) throughput at p=3 with p=2/p=4 predictions",
+		Columns: []string{
+			"source_Mtpm",
+			"p3_input_avg_Mtpm", "p3_input_lo_Mtpm", "p3_input_hi_Mtpm",
+			"p3_output_avg_Mtpm", "p3_output_lo_Mtpm", "p3_output_hi_Mtpm",
+			"p2_pred_input_Mtpm", "p2_pred_output_Mtpm",
+			"p4_pred_input_Mtpm", "p4_pred_output_Mtpm",
+		},
+	}
+	models, err := calibrateSplitter(3, 8, 20e6, 48e6, sweep)
+	if err != nil {
+		return t, err
+	}
+	splitter := models["splitter"]
+	for rate := 2e6; rate <= 68e6; rate += 6e6 {
+		m, err := measureCI(heron.WordCountOptions{SplitterP: 3, CounterP: 8, RatePerMinute: rate}, sweep, "splitter")
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, []float64{
+			rate / 1e6,
+			m.Exec / 1e6, m.ExecLo / 1e6, m.ExecHi / 1e6,
+			m.Emit / 1e6, m.EmitLo / 1e6, m.EmitHi / 1e6,
+			splitter.Input(2, rate) / 1e6, splitter.Output(2, rate) / 1e6,
+			splitter.Input(4, rate) / 1e6, splitter.Output(4, rate) / 1e6,
+		})
+	}
+	t.Findings = append(t.Findings,
+		fmt.Sprintf("calibrated α = %.4f, per-instance SP = %.2f M/min", splitter.Instance.Alpha, splitter.Instance.SP/1e6),
+		fmt.Sprintf("predicted input knees: p=2 %.1f M, p=4 %.1f M (paper: ≈18 M and ≈36 M)",
+			splitter.SaturationSource(2)/1e6, splitter.SaturationSource(4)/1e6),
+		fmt.Sprintf("predicted output plateaus: p=2 %.0f M, p=4 %.0f M (paper: ≈140 M and ≈280 M)",
+			splitter.MaxOutput(2)/1e6, splitter.MaxOutput(4)/1e6),
+	)
+	return t, nil
+}
+
+// Fig08ComponentValidation reproduces Fig. 8: deploy the splitter at
+// parallelisms 2 and 4 and compare the measured curves against the
+// Fig. 7 predictions. The paper reports saturation-throughput errors
+// of 2.9% (p=2) and 2.5% (p=4).
+func Fig08ComponentValidation(sweep SweepOptions) (Table, error) {
+	t := Table{
+		Name:  "fig08",
+		Title: "Validation of splitter predictions at p=2 and p=4",
+		Columns: []string{
+			"source_Mtpm",
+			"p2_meas_output_Mtpm", "p2_pred_output_Mtpm",
+			"p4_meas_output_Mtpm", "p4_pred_output_Mtpm",
+		},
+	}
+	models, err := calibrateSplitter(3, 8, 20e6, 48e6, sweep)
+	if err != nil {
+		return t, err
+	}
+	splitter := models["splitter"]
+	type satPair struct{ meas, pred float64 }
+	satOut := map[int]*satPair{2: {}, 4: {}}
+	for rate := 4e6; rate <= 68e6; rate += 8e6 {
+		row := []float64{rate / 1e6}
+		for _, p := range []int{2, 4} {
+			m, err := measureCI(heron.WordCountOptions{SplitterP: p, CounterP: 8, RatePerMinute: rate}, sweep, "splitter")
+			if err != nil {
+				return t, err
+			}
+			pred := splitter.Output(p, rate)
+			row = append(row, m.Emit/1e6, pred/1e6)
+			if rate >= splitter.SaturationSource(p)*1.2 {
+				satOut[p].meas = m.Emit
+				satOut[p].pred = pred
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	for _, p := range []int{2, 4} {
+		if satOut[p].meas > 0 {
+			e := relErr(satOut[p].pred, satOut[p].meas)
+			t.Findings = append(t.Findings, fmt.Sprintf("p=%d ST prediction error %.1f%% (paper: %.1f%%)",
+				p, 100*e, map[int]float64{2: 2.9, 4: 2.5}[p]))
+		}
+	}
+	return t, nil
+}
+
+// Fig09CounterModel reproduces Fig. 9: the counter component's input
+// throughput versus its source throughput (the splitter's output) at
+// parallelism 3, with the prediction for parallelism 4. The counter is
+// fields-grouped; with the evaluation's unbiased dataset it follows
+// Eq. 9.
+func Fig09CounterModel(sweep SweepOptions) (Table, error) {
+	t := Table{
+		Name:  "fig09",
+		Title: "Component (counter) input throughput: p=3 observed, p=4 predicted and validated",
+		Columns: []string{
+			"counter_source_Mtpm", "p3_input_Mtpm", "p4_pred_input_Mtpm", "p4_meas_input_Mtpm",
+		},
+	}
+	// Calibrate the counter at p=3: a linear run and a saturated run.
+	// Counter per-instance SP is 68.4 M/min → p=3 saturates at about
+	// 205 M words/min ≈ 26.9 M sentences/min offered.
+	models, err := calibrateSplitter(8, 3, 20e6, 35e6, sweep)
+	if err != nil {
+		return t, err
+	}
+	counter := models["counter"]
+	alpha := heron.SplitterAlpha
+	for sentences := 4e6; sentences <= 64e6; sentences += 6e6 {
+		counterSource := sentences * alpha
+		p3, err := measureCI(heron.WordCountOptions{SplitterP: 8, CounterP: 3, RatePerMinute: sentences}, sweep, "counter")
+		if err != nil {
+			return t, err
+		}
+		p4, err := measureCI(heron.WordCountOptions{SplitterP: 8, CounterP: 4, RatePerMinute: sentences}, sweep, "counter")
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, []float64{
+			counterSource / 1e6,
+			p3.Exec / 1e6,
+			counter.Input(4, counterSource) / 1e6,
+			p4.Exec / 1e6,
+		})
+	}
+	// Validation error at the deepest saturated point.
+	last := t.Rows[len(t.Rows)-1]
+	e := relErr(last[2], last[3])
+	t.Findings = append(t.Findings,
+		fmt.Sprintf("counter per-instance SP = %.1f M/min; p=3 plateau ≈ %.0f M (paper: ≈205 M)",
+			counter.Instance.SP/1e6, 3*counter.Instance.SP/1e6),
+		fmt.Sprintf("p=4 input prediction error at saturation %.1f%%", 100*e),
+	)
+	return t, nil
+}
+
+// Fig10CriticalPath reproduces Fig. 10: the topology output throughput
+// predicted by chaining the calibrated component models (Eq. 12) versus
+// a deployed measurement, using the Fig. 1 parallelisms (spout 2,
+// splitter 2, counter 4). The paper reports a 2.8% error.
+func Fig10CriticalPath(sweep SweepOptions) (Table, error) {
+	t := Table{
+		Name:    "fig10",
+		Title:   "Topology (critical path) output throughput: prediction vs measurement",
+		Columns: []string{"source_Mtpm", "predicted_out_Mtpm", "measured_out_Mtpm"},
+	}
+	models, err := calibrateSplitter(3, 8, 20e6, 48e6, sweep)
+	if err != nil {
+		return t, err
+	}
+	top, err := heron.WordCountTopology(2, 2, 4)
+	if err != nil {
+		return t, err
+	}
+	tm, err := core.NewTopologyModel(top, models)
+	if err != nil {
+		return t, err
+	}
+	var satPred, satMeas float64
+	for rate := 4e6; rate <= 68e6; rate += 8e6 {
+		pred, err := tm.Predict(nil, rate)
+		if err != nil {
+			return t, err
+		}
+		// The topology's output is the sink's processing throughput.
+		sinkIn := pred.SinkThroughput
+		m, err := measureCI(heron.WordCountOptions{SpoutP: 2, SplitterP: 2, CounterP: 4, RatePerMinute: rate}, sweep, "counter")
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, []float64{rate / 1e6, sinkIn / 1e6, m.Exec / 1e6})
+		if rate >= 40e6 {
+			satPred, satMeas = sinkIn, m.Exec
+		}
+	}
+	e := relErr(satPred, satMeas)
+	t.Findings = append(t.Findings,
+		fmt.Sprintf("saturated topology output: predicted %.0f M, measured %.0f M, error %.1f%% (paper: 2.8%%)",
+			satPred/1e6, satMeas/1e6, 100*e),
+	)
+	return t, nil
+}
+
+// Fig11CPULoad reproduces Fig. 11: splitter component CPU load versus
+// source throughput at parallelism 3, with the ψ-regression and the
+// predicted lines for parallelisms 2 and 4 (§V-E).
+func Fig11CPULoad(sweep SweepOptions) (Table, error) {
+	t := Table{
+		Name:  "fig11",
+		Title: "Splitter CPU load at p=3 with p=2/p=4 predictions",
+		Columns: []string{
+			"source_Mtpm", "p3_cpu_cores", "p2_pred_cpu_cores", "p4_pred_cpu_cores",
+		},
+	}
+	models, err := calibrateSplitter(3, 8, 20e6, 48e6, sweep)
+	if err != nil {
+		return t, err
+	}
+	splitter := models["splitter"]
+	if splitter.CPUPsi <= 0 {
+		return t, fmt.Errorf("fig11: ψ not calibrated")
+	}
+	for rate := 4e6; rate <= 68e6; rate += 8e6 {
+		m, err := measureCI(heron.WordCountOptions{SplitterP: 3, CounterP: 8, RatePerMinute: rate}, sweep, "splitter")
+		if err != nil {
+			return t, err
+		}
+		p2, err := splitter.CPU(2, rate)
+		if err != nil {
+			return t, err
+		}
+		p4, err := splitter.CPU(4, rate)
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, []float64{rate / 1e6, m.CPU, p2, p4})
+	}
+	t.Findings = append(t.Findings,
+		fmt.Sprintf("ψ = %.3g cores per (tuple/min); CPU is linear in input rate, saturating with throughput", splitter.CPUPsi),
+	)
+	return t, nil
+}
+
+// Fig12CPUValidation reproduces Fig. 12: measured CPU load of the
+// splitter deployed at parallelisms 2 and 4 versus the predictions.
+// The paper reports errors of 4.8% (p=2) and 3.0% (p=4).
+func Fig12CPUValidation(sweep SweepOptions) (Table, error) {
+	t := Table{
+		Name:  "fig12",
+		Title: "Validation of splitter CPU-load predictions at p=2 and p=4",
+		Columns: []string{
+			"source_Mtpm",
+			"p2_meas_cpu", "p2_pred_cpu",
+			"p4_meas_cpu", "p4_pred_cpu",
+		},
+	}
+	models, err := calibrateSplitter(3, 8, 20e6, 48e6, sweep)
+	if err != nil {
+		return t, err
+	}
+	splitter := models["splitter"]
+	worst := map[int]float64{}
+	for rate := 4e6; rate <= 68e6; rate += 8e6 {
+		row := []float64{rate / 1e6}
+		for _, p := range []int{2, 4} {
+			m, err := measureCI(heron.WordCountOptions{SplitterP: p, CounterP: 8, RatePerMinute: rate}, sweep, "splitter")
+			if err != nil {
+				return t, err
+			}
+			pred, err := splitter.CPU(p, rate)
+			if err != nil {
+				return t, err
+			}
+			row = append(row, m.CPU, pred)
+			if m.CPU > 0 {
+				if e := relErr(pred, m.CPU); e > worst[p] {
+					worst[p] = e
+				}
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	for _, p := range []int{2, 4} {
+		t.Findings = append(t.Findings, fmt.Sprintf("p=%d worst-case CPU prediction error %.1f%% (paper: %.1f%%)",
+			p, 100*worst[p], map[int]float64{2: 4.8, 4: 3.0}[p]))
+	}
+	return t, nil
+}

@@ -1,0 +1,324 @@
+// Package experiments regenerates every figure of the paper's
+// evaluation (§V, Figures 4–12) plus the two system-level comparisons
+// (traffic forecasting and Dhalion-vs-Caladrius). Each experiment
+// returns a Table whose series mirror what the corresponding figure
+// plots; cmd/figures renders them as CSV/ASCII and bench_test.go wraps
+// them as benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"caladrius/internal/core"
+	"caladrius/internal/heron"
+	"caladrius/internal/linalg"
+	"caladrius/internal/metrics"
+)
+
+// Table is one experiment's result: a figure-shaped data series plus
+// headline findings.
+type Table struct {
+	// Name is the experiment id, e.g. "fig04".
+	Name string
+	// Title describes the figure being reproduced.
+	Title string
+	// Columns name the row fields.
+	Columns []string
+	// Rows hold the series data.
+	Rows [][]float64
+	// Findings are the headline numbers (prediction errors, knees)
+	// compared against the paper.
+	Findings []string
+}
+
+// CSV renders the table as comma-separated text.
+func (t Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Columns, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		for i, v := range row {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%.6g", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ASCII renders the table with padded columns and findings.
+func (t Table) ASCII() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.Name, t.Title)
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, "%18s", c)
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		for _, v := range row {
+			fmt.Fprintf(&b, "%18.6g", v)
+		}
+		b.WriteByte('\n')
+	}
+	for _, f := range t.Findings {
+		fmt.Fprintf(&b, "-- %s\n", f)
+	}
+	return b.String()
+}
+
+// SweepOptions controls the simulated rate sweeps. The defaults keep a
+// full figure regeneration fast; Accurate lengthens runs for tighter
+// steady-state averages.
+type SweepOptions struct {
+	// WarmupMinutes and MeasureMinutes shape each simulated run.
+	WarmupMinutes, MeasureMinutes int
+	// Tick is the simulation step.
+	Tick time.Duration
+	// Repeats is the number of noise-seeded repetitions per measured
+	// point (the paper repeated observations 10 times and plotted 90%
+	// intervals). Default 5.
+	Repeats int
+	// NoiseStd is the per-tick service-capacity noise applied to
+	// measurement runs, giving realistic run-to-run variation.
+	// Default 3%.
+	NoiseStd float64
+}
+
+// DefaultSweep is used when the zero value is passed.
+var DefaultSweep = SweepOptions{WarmupMinutes: 5, MeasureMinutes: 6, Tick: 100 * time.Millisecond, Repeats: 5, NoiseStd: 0.015}
+
+func (o SweepOptions) withDefaults() SweepOptions {
+	if o.WarmupMinutes == 0 {
+		o.WarmupMinutes = DefaultSweep.WarmupMinutes
+	}
+	if o.MeasureMinutes == 0 {
+		o.MeasureMinutes = DefaultSweep.MeasureMinutes
+	}
+	if o.Tick == 0 {
+		o.Tick = DefaultSweep.Tick
+	}
+	if o.Repeats == 0 {
+		o.Repeats = DefaultSweep.Repeats
+	}
+	if o.NoiseStd == 0 {
+		o.NoiseStd = DefaultSweep.NoiseStd
+	}
+	return o
+}
+
+// measurePoint runs one word-count simulation and returns the
+// steady-state per-minute metrics of a component.
+func measurePoint(opts heron.WordCountOptions, sweep SweepOptions, component string) (metrics.SteadyState, error) {
+	sweep = sweep.withDefaults()
+	opts.Tick = sweep.Tick
+	sim, err := heron.NewWordCount(opts)
+	if err != nil {
+		return metrics.SteadyState{}, err
+	}
+	total := time.Duration(sweep.WarmupMinutes+sweep.MeasureMinutes) * time.Minute
+	if err := sim.Run(total); err != nil {
+		return metrics.SteadyState{}, err
+	}
+	prov, err := metrics.NewTSDBProvider(sim.DB(), time.Minute)
+	if err != nil {
+		return metrics.SteadyState{}, err
+	}
+	ws, err := prov.ComponentWindows("word-count", component, sim.Start(), sim.Start().Add(total))
+	if err != nil {
+		return metrics.SteadyState{}, err
+	}
+	return metrics.Summarise(ws, sweep.WarmupMinutes)
+}
+
+// measuredCI is a repeated observation of one component at one rate:
+// means with 90%-style low/high bounds across noise-seeded repeats,
+// mirroring the paper's "avg / 0.9low / 0.9high" series.
+type measuredCI struct {
+	Exec, ExecLo, ExecHi float64
+	Emit, EmitLo, EmitHi float64
+	BpMs                 float64
+	CPU                  float64
+}
+
+// measureCI repeats measurePoint with Repeats independent noise seeds.
+func measureCI(opts heron.WordCountOptions, sweep SweepOptions, component string) (measuredCI, error) {
+	sweep = sweep.withDefaults()
+	opts.ServiceNoiseStd = sweep.NoiseStd
+	var execs, emits []float64
+	var out measuredCI
+	for r := 0; r < sweep.Repeats; r++ {
+		opts.NoiseSeed = int64(1000 + 7919*r)
+		ss, err := measurePoint(opts, sweep, component)
+		if err != nil {
+			return measuredCI{}, err
+		}
+		execs = append(execs, ss.Execute)
+		emits = append(emits, ss.Emit)
+		out.BpMs += ss.BackpressureMs
+		out.CPU += ss.CPULoad
+	}
+	n := float64(sweep.Repeats)
+	out.BpMs /= n
+	out.CPU /= n
+	out.Exec = linalg.Mean(execs)
+	out.ExecLo = linalg.Quantile(execs, 0.05)
+	out.ExecHi = linalg.Quantile(execs, 0.95)
+	out.Emit = linalg.Mean(emits)
+	out.EmitLo = linalg.Quantile(emits, 0.05)
+	out.EmitHi = linalg.Quantile(emits, 0.95)
+	return out, nil
+}
+
+// calibrateSplitter calibrates the splitter (and friends) at the given
+// parallelism from one linear and one saturated run, as §V-B
+// prescribes.
+func calibrateSplitter(splitterP, counterP int, linearRate, satRate float64, sweep SweepOptions) (map[string]*core.ComponentModel, error) {
+	sweep = sweep.withDefaults()
+	models := map[string]*core.ComponentModel{}
+	for _, rate := range []float64{linearRate, satRate} {
+		sim, err := heron.NewWordCount(heron.WordCountOptions{
+			SplitterP: splitterP, CounterP: counterP, RatePerMinute: rate, Tick: sweep.Tick,
+			ServiceNoiseStd: sweep.NoiseStd, NoiseSeed: 555,
+		})
+		if err != nil {
+			return nil, err
+		}
+		total := time.Duration(sweep.WarmupMinutes+sweep.MeasureMinutes) * time.Minute
+		if err := sim.Run(total); err != nil {
+			return nil, err
+		}
+		prov, err := metrics.NewTSDBProvider(sim.DB(), time.Minute)
+		if err != nil {
+			return nil, err
+		}
+		for comp, p := range map[string]int{"spout": 8, "splitter": splitterP, "counter": counterP} {
+			m, err := core.CalibrateFromProvider(prov, "word-count", comp, p, sim.Start(), sim.Start().Add(total), core.CalibrationOptions{Warmup: sweep.WarmupMinutes})
+			if err != nil {
+				return nil, fmt.Errorf("calibrate %s: %w", comp, err)
+			}
+			if prev, ok := models[comp]; ok {
+				if m, err = core.MergeCalibrations(prev, m); err != nil {
+					return nil, err
+				}
+			}
+			models[comp] = m
+		}
+	}
+	return models, nil
+}
+
+func relErr(got, want float64) float64 { return math.Abs(got-want) / want }
+
+// Fig04InstanceThroughput reproduces Fig. 4: splitter instance input
+// and output rate versus topology source throughput, parallelism 1,
+// sweeping the source from 1 to 20 M tuples/minute. The paper observes
+// a linear region up to SP ≈ 11 M and a plateau beyond.
+func Fig04InstanceThroughput(sweep SweepOptions) (Table, error) {
+	t := Table{
+		Name:  "fig04",
+		Title: "Instance throughput (input, output) vs topology source throughput",
+		Columns: []string{
+			"source_Mtpm",
+			"input_avg_Mtpm", "input_lo_Mtpm", "input_hi_Mtpm",
+			"output_avg_Mtpm", "output_lo_Mtpm", "output_hi_Mtpm",
+		},
+	}
+	spInput := float64(heron.SplitterServiceRate) * 60 / 1e6
+	var maxLinearIn, satIn float64
+	for rate := 1e6; rate <= 20e6; rate += 1e6 {
+		m, err := measureCI(heron.WordCountOptions{SplitterP: 1, CounterP: 3, RatePerMinute: rate}, sweep, "splitter")
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, []float64{
+			rate / 1e6,
+			m.Exec / 1e6, m.ExecLo / 1e6, m.ExecHi / 1e6,
+			m.Emit / 1e6, m.EmitLo / 1e6, m.EmitHi / 1e6,
+		})
+		if rate < spInput*1e6 {
+			maxLinearIn = m.Exec / 1e6
+		} else {
+			satIn = m.Exec / 1e6
+		}
+	}
+	t.Findings = append(t.Findings,
+		fmt.Sprintf("saturation point ≈ %.1f M tuples/min (paper: ≈11 M)", spInput),
+		fmt.Sprintf("input tracks source until SP (last linear %.1f M), plateaus at %.1f M beyond", maxLinearIn, satIn),
+	)
+	return t, nil
+}
+
+// Fig05IORatio reproduces Fig. 5: the splitter's output/input ratio
+// versus source throughput — near-constant at the corpus mean sentence
+// length (paper: 7.63–7.64).
+func Fig05IORatio(sweep SweepOptions) (Table, error) {
+	t := Table{
+		Name:    "fig05",
+		Title:   "Instance output/input ratio vs instance source throughput",
+		Columns: []string{"source_Mtpm", "ratio"},
+	}
+	minR, maxR := math.Inf(1), math.Inf(-1)
+	for rate := 1e6; rate <= 20e6; rate += 1e6 {
+		m, err := measureCI(heron.WordCountOptions{SplitterP: 1, CounterP: 3, RatePerMinute: rate}, sweep, "splitter")
+		if err != nil {
+			return t, err
+		}
+		ratio := m.Emit / m.Exec
+		t.Rows = append(t.Rows, []float64{rate / 1e6, ratio})
+		minR, maxR = math.Min(minR, ratio), math.Max(maxR, ratio)
+	}
+	t.Findings = append(t.Findings,
+		fmt.Sprintf("ratio ∈ [%.4f, %.4f] (paper: 7.63–7.64, the corpus mean sentence length)", minR, maxR),
+	)
+	return t, nil
+}
+
+// Fig06BackpressureTime reproduces Fig. 6: per-minute backpressure time
+// versus source throughput — ≈0 below SP, jumping steeply towards
+// 60 000 ms above it (the bimodality assumption of §IV-B1).
+func Fig06BackpressureTime(sweep SweepOptions) (Table, error) {
+	t := Table{
+		Name:    "fig06",
+		Title:   "Instance backpressure time vs instance source throughput",
+		Columns: []string{"source_Mtpm", "bp_ms_per_min"},
+	}
+	var below, above []float64
+	sp := float64(heron.SplitterServiceRate) * 60
+	for rate := 1e6; rate <= 20e6; rate += 1e6 {
+		m, err := measureCI(heron.WordCountOptions{SplitterP: 1, CounterP: 3, RatePerMinute: rate}, sweep, "splitter")
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, []float64{rate / 1e6, m.BpMs})
+		if rate < sp*0.98 {
+			below = append(below, m.BpMs)
+		} else if rate > sp*1.05 {
+			above = append(above, m.BpMs)
+		}
+	}
+	t.Findings = append(t.Findings,
+		fmt.Sprintf("below SP: max %.0f ms/min; above SP: min %.0f ms/min (paper: steep 0 → ~60000 step)", maxOf(below), minOf(above)),
+	)
+	return t, nil
+}
+
+func maxOf(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, v := range xs {
+		m = math.Max(m, v)
+	}
+	return m
+}
+
+func minOf(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, v := range xs {
+		m = math.Min(m, v)
+	}
+	return m
+}

@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"caladrius/internal/heron"
+)
+
+// fastSweep keeps experiment tests quick while preserving the shape
+// claims (coarser tick, shorter windows).
+var fastSweep = SweepOptions{WarmupMinutes: 3, MeasureMinutes: 4, Tick: 200 * time.Millisecond, NoiseStd: 0.01}
+
+func TestFig04Shape(t *testing.T) {
+	tbl, err := Fig04InstanceThroughput(fastSweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 20 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	sp := float64(heron.SplitterServiceRate) * 60 / 1e6
+	for _, row := range tbl.Rows {
+		src, in, inLo, inHi, out := row[0], row[1], row[2], row[3], row[4]
+		eps := 1e-9 * (1 + math.Abs(in))
+		if !(inLo <= in+eps && in <= inHi+eps) {
+			t.Errorf("src %.0fM: CI [%.2f, %.2f] does not bracket mean %.2f", src, inLo, inHi, in)
+		}
+		if src < sp*0.95 {
+			// Linear region: input tracks source; output ≈ α×input.
+			if math.Abs(in-src)/src > 0.03 {
+				t.Errorf("src %.0fM: input %.2fM not linear", src, in)
+			}
+			if math.Abs(out/in-heron.SplitterAlpha) > 0.05 {
+				t.Errorf("src %.0fM: ratio %.3f", src, out/in)
+			}
+		}
+		if src > sp*1.1 {
+			// Plateau at SP / ST.
+			if math.Abs(in-sp)/sp > 0.05 {
+				t.Errorf("src %.0fM: saturated input %.2fM, want ≈%.2fM", src, in, sp)
+			}
+		}
+	}
+}
+
+func TestFig05RatioConstant(t *testing.T) {
+	tbl, err := Fig05IORatio(fastSweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		if math.Abs(row[1]-heron.SplitterAlpha) > 0.05 {
+			t.Errorf("ratio at %.0fM = %.4f", row[0], row[1])
+		}
+	}
+}
+
+func TestFig06Bimodal(t *testing.T) {
+	tbl, err := Fig06BackpressureTime(fastSweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := heron.SplitterServiceRate * 60 / 1e6
+	for _, row := range tbl.Rows {
+		src, bp := row[0], row[1]
+		if src < sp*0.95 && bp > 1000 {
+			t.Errorf("src %.0fM below SP has bp %.0f ms", src, bp)
+		}
+		if src > sp*1.15 && bp < 45_000 {
+			t.Errorf("src %.0fM above SP has bp %.0f ms (want bimodal ≳50000)", src, bp)
+		}
+	}
+}
+
+func TestFig07And08ComponentScaling(t *testing.T) {
+	tbl7, err := Fig07ComponentModel(fastSweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl7.Rows) == 0 || len(tbl7.Findings) < 3 {
+		t.Fatalf("fig07 table incomplete: %+v", tbl7)
+	}
+	tbl8, err := Fig08ComponentValidation(fastSweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The headline claim: ST prediction errors in the single digits.
+	foundErrors := 0
+	for _, f := range tbl8.Findings {
+		if strings.Contains(f, "ST prediction error") {
+			foundErrors++
+			var p int
+			var e, paper float64
+			if _, err := fmt.Sscanf(f, "p=%d ST prediction error %f%%", &p, &e); err != nil {
+				t.Fatalf("unparseable finding %q: %v", f, err)
+			}
+			_ = paper
+			if e > 5.0 {
+				t.Errorf("finding %q exceeds 5%% error budget", f)
+			}
+		}
+	}
+	if foundErrors != 2 {
+		t.Errorf("expected 2 ST error findings, got %d: %v", foundErrors, tbl8.Findings)
+	}
+}
+
+func TestFig09CounterValidation(t *testing.T) {
+	tbl, err := Fig09CounterModel(fastSweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p=4 predicted vs measured agree within 5% everywhere measured.
+	for _, row := range tbl.Rows {
+		pred, meas := row[2], row[3]
+		if meas > 0 && math.Abs(pred-meas)/meas > 0.05 {
+			t.Errorf("counter source %.0fM: p=4 pred %.1fM vs meas %.1fM", row[0], pred, meas)
+		}
+	}
+}
+
+func TestFig10CriticalPathError(t *testing.T) {
+	tbl, err := Fig10CriticalPath(fastSweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		pred, meas := row[1], row[2]
+		if meas > 0 && math.Abs(pred-meas)/meas > 0.06 {
+			t.Errorf("source %.0fM: predicted %.1fM vs measured %.1fM", row[0], pred, meas)
+		}
+	}
+}
+
+func TestFig11And12CPU(t *testing.T) {
+	tbl11, err := Fig11CPULoad(fastSweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl11.Rows) == 0 {
+		t.Fatal("fig11 empty")
+	}
+	tbl12, err := Fig12CPUValidation(fastSweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl12.Rows {
+		for _, pair := range [][2]float64{{row[1], row[2]}, {row[3], row[4]}} {
+			meas, pred := pair[0], pair[1]
+			if meas > 0 && math.Abs(pred-meas)/meas > 0.06 {
+				t.Errorf("cpu at %.0fM: measured %.3f vs predicted %.3f", row[0], meas, pred)
+			}
+		}
+	}
+}
+
+func TestTrafficForecastExperiment(t *testing.T) {
+	tbl, err := TrafficForecast()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 24 {
+		t.Errorf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestDhalionVsCaladriusExperiment(t *testing.T) {
+	tbl, err := DhalionVsCaladrius()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) < 4 {
+		t.Errorf("dhalion rounds = %d, expected several", len(tbl.Rows))
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := Table{
+		Name:     "t",
+		Title:    "demo",
+		Columns:  []string{"a", "b"},
+		Rows:     [][]float64{{1, 2.5}, {3, 4}},
+		Findings: []string{"finding one"},
+	}
+	csv := tbl.CSV()
+	if !strings.HasPrefix(csv, "a,b\n1,2.5\n") {
+		t.Errorf("csv = %q", csv)
+	}
+	ascii := tbl.ASCII()
+	if !strings.Contains(ascii, "demo") || !strings.Contains(ascii, "finding one") {
+		t.Errorf("ascii = %q", ascii)
+	}
+}

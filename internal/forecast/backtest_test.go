@@ -1,0 +1,94 @@
+package forecast
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"caladrius/internal/workload"
+)
+
+func TestBacktestScoresProphetWell(t *testing.T) {
+	spec := workload.TrafficSpec{Base: 1e6, DailyAmplitude: 0.4, NoiseStd: 0.02, Seed: 3}
+	history := toPoints(spec.Generate(t0, 6*24*60, time.Minute))
+	acc, err := Backtest("prophet", nil, history, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Points == 0 {
+		t.Fatal("no points scored")
+	}
+	if acc.MAPE > 0.05 {
+		t.Errorf("prophet MAPE = %.3f", acc.MAPE)
+	}
+	if acc.Coverage < 0.5 {
+		t.Errorf("coverage = %.2f", acc.Coverage)
+	}
+	if acc.RMSE <= 0 {
+		t.Errorf("rmse = %g", acc.RMSE)
+	}
+}
+
+func TestBacktestValidation(t *testing.T) {
+	spec := workload.TrafficSpec{Base: 1e6, Seed: 1}
+	history := toPoints(spec.Generate(t0, 100, time.Minute))
+	if _, err := Backtest("prophet", nil, history, 0); err == nil {
+		t.Error("holdout 0 accepted")
+	}
+	if _, err := Backtest("prophet", nil, history, 1); err == nil {
+		t.Error("holdout 1 accepted")
+	}
+	if _, err := Backtest("bogus", nil, history, 0.2); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if _, err := Backtest("prophet", nil, history[:4], 0.2); !errors.Is(err, ErrInsufficentData) {
+		t.Errorf("tiny history: %v", err)
+	}
+}
+
+func TestRankOrdersBySkill(t *testing.T) {
+	// Strongly seasonal traffic: prophet and holtwinters should beat
+	// summary; a model that cannot fit (holtwinters without two
+	// periods) ranks last.
+	spec := workload.TrafficSpec{Base: 1e6, DailyAmplitude: 0.5, NoiseStd: 0.02, Seed: 7}
+	history := toPoints(spec.Generate(t0, 6*24*60, time.Minute))
+	candidates := []struct {
+		Name    string
+		Options map[string]any
+	}{
+		{"summary", nil},
+		{"prophet", nil},
+		{"holtwinters", nil},
+	}
+	ranked := Rank(candidates, history, 0.2)
+	if len(ranked) != 3 {
+		t.Fatalf("ranked = %d", len(ranked))
+	}
+	if ranked[len(ranked)-1].Model != "summary" {
+		t.Errorf("summary should rank last on seasonal traffic: %+v", rankNames(ranked))
+	}
+	for _, r := range ranked[:2] {
+		if r.Err != nil {
+			t.Errorf("%s failed: %v", r.Model, r.Err)
+		}
+		if r.Accuracy.MAPE > 0.10 {
+			t.Errorf("%s MAPE = %.3f", r.Model, r.Accuracy.MAPE)
+		}
+	}
+
+	// Short history: holtwinters (needs 2 daily periods) fails and
+	// ranks behind evaluable models.
+	short := toPoints(spec.Generate(t0, 12*60, time.Minute))
+	ranked = Rank(candidates, short, 0.2)
+	if ranked[len(ranked)-1].Model != "holtwinters" || ranked[len(ranked)-1].Err == nil {
+		t.Errorf("inevaluable model should rank last: %+v", rankNames(ranked))
+	}
+}
+
+func rankNames(rs []Ranking) []string {
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.Model
+	}
+	return out
+}

@@ -1,0 +1,365 @@
+package graph
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func mustAddVertex(t *testing.T, g *Graph, id, label string, props Properties) {
+	t.Helper()
+	if err := g.AddVertex(id, label, props); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustAddEdge(t *testing.T, g *Graph, from, to, label string) string {
+	t.Helper()
+	id, err := g.AddEdge(from, to, label, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func chainGraph(t *testing.T) *Graph {
+	t.Helper()
+	g := New()
+	mustAddVertex(t, g, "a", "component", Properties{"name": "a"})
+	mustAddVertex(t, g, "b", "component", Properties{"name": "b"})
+	mustAddVertex(t, g, "c", "component", Properties{"name": "c"})
+	mustAddEdge(t, g, "a", "b", "stream")
+	mustAddEdge(t, g, "b", "c", "stream")
+	return g
+}
+
+func TestAddAndLookup(t *testing.T) {
+	g := chainGraph(t)
+	if g.VertexCount() != 3 || g.EdgeCount() != 2 {
+		t.Errorf("size = %d/%d", g.VertexCount(), g.EdgeCount())
+	}
+	v, err := g.Vertex("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Label != "component" || v.Props["name"] != "a" {
+		t.Errorf("vertex = %+v", v)
+	}
+	// Returned vertex is a copy.
+	v.Props["name"] = "tampered"
+	again, _ := g.Vertex("a")
+	if again.Props["name"] != "a" {
+		t.Error("Vertex aliases internal properties")
+	}
+	if _, err := g.Vertex("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing vertex: %v", err)
+	}
+}
+
+func TestDuplicateAndMissing(t *testing.T) {
+	g := chainGraph(t)
+	if err := g.AddVertex("a", "x", nil); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("duplicate vertex: %v", err)
+	}
+	if err := g.AddVertex("", "x", nil); err == nil {
+		t.Error("empty id accepted")
+	}
+	if _, err := g.AddEdge("a", "ghost", "e", nil); !errors.Is(err, ErrNotFound) {
+		t.Errorf("edge to missing vertex: %v", err)
+	}
+	if _, err := g.AddEdge("ghost", "a", "e", nil); !errors.Is(err, ErrNotFound) {
+		t.Errorf("edge from missing vertex: %v", err)
+	}
+}
+
+func TestRemoveVertexCascades(t *testing.T) {
+	g := chainGraph(t)
+	if err := g.RemoveVertex("b"); err != nil {
+		t.Fatal(err)
+	}
+	if g.VertexCount() != 2 || g.EdgeCount() != 0 {
+		t.Errorf("after cascade: %d vertices, %d edges", g.VertexCount(), g.EdgeCount())
+	}
+	if err := g.RemoveVertex("b"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double remove: %v", err)
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g := New()
+	mustAddVertex(t, g, "a", "x", nil)
+	mustAddVertex(t, g, "b", "x", nil)
+	id := mustAddEdge(t, g, "a", "b", "e")
+	if err := g.RemoveEdge(id); err != nil {
+		t.Fatal(err)
+	}
+	if g.EdgeCount() != 0 {
+		t.Error("edge not removed")
+	}
+	if len(g.OutNeighbors("a")) != 0 {
+		t.Error("adjacency not cleaned")
+	}
+	if err := g.RemoveEdge(id); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double remove: %v", err)
+	}
+}
+
+func TestNeighborsWithLabels(t *testing.T) {
+	g := New()
+	for _, id := range []string{"a", "b", "c"} {
+		mustAddVertex(t, g, id, "x", nil)
+	}
+	mustAddEdge(t, g, "a", "b", "red")
+	mustAddEdge(t, g, "a", "c", "blue")
+	if got := g.OutNeighbors("a"); !reflect.DeepEqual(got, []string{"b", "c"}) {
+		t.Errorf("all = %v", got)
+	}
+	if got := g.OutNeighbors("a", "red"); !reflect.DeepEqual(got, []string{"b"}) {
+		t.Errorf("red = %v", got)
+	}
+	if got := g.InNeighbors("c", "blue"); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Errorf("in blue = %v", got)
+	}
+	if got := g.InNeighbors("a"); len(got) != 0 {
+		t.Errorf("in of source = %v", got)
+	}
+}
+
+func TestSetVertexProp(t *testing.T) {
+	g := chainGraph(t)
+	if err := g.SetVertexProp("a", "parallelism", 4); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := g.Vertex("a")
+	if v.Props["parallelism"] != 4 {
+		t.Errorf("prop = %v", v.Props["parallelism"])
+	}
+	if err := g.SetVertexProp("ghost", "k", 1); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing vertex: %v", err)
+	}
+}
+
+func TestAllPaths(t *testing.T) {
+	g := New()
+	for _, id := range []string{"s", "a", "b", "t"} {
+		mustAddVertex(t, g, id, "x", nil)
+	}
+	mustAddEdge(t, g, "s", "a", "e")
+	mustAddEdge(t, g, "s", "b", "e")
+	mustAddEdge(t, g, "a", "t", "e")
+	mustAddEdge(t, g, "b", "t", "e")
+	paths, err := g.AllPaths("s", "t", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]string{{"s", "a", "t"}, {"s", "b", "t"}}
+	if !reflect.DeepEqual(paths, want) {
+		t.Errorf("paths = %v", paths)
+	}
+	// Length bound cuts both (paths have 3 vertices).
+	bounded, err := g.AllPaths("s", "t", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bounded) != 0 {
+		t.Errorf("bounded = %v", bounded)
+	}
+	if _, err := g.AllPaths("ghost", "t", 0); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing from: %v", err)
+	}
+	if _, err := g.AllPaths("s", "ghost", 0); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing to: %v", err)
+	}
+}
+
+func TestAllPathsHandlesCycle(t *testing.T) {
+	g := New()
+	for _, id := range []string{"a", "b", "c"} {
+		mustAddVertex(t, g, id, "x", nil)
+	}
+	mustAddEdge(t, g, "a", "b", "e")
+	mustAddEdge(t, g, "b", "a", "e")
+	mustAddEdge(t, g, "b", "c", "e")
+	paths, err := g.AllPaths("a", "c", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(paths, [][]string{{"a", "b", "c"}}) {
+		t.Errorf("paths = %v", paths)
+	}
+}
+
+func TestTopoSort(t *testing.T) {
+	g := chainGraph(t)
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(order, []string{"a", "b", "c"}) {
+		t.Errorf("order = %v", order)
+	}
+	mustAddEdge(t, g, "c", "a", "back")
+	if _, err := g.TopoSort(); err == nil {
+		t.Error("cycle not detected")
+	}
+}
+
+func TestTraversalSteps(t *testing.T) {
+	g := New()
+	mustAddVertex(t, g, "comp:spout", "component", Properties{"name": "spout", "kind": "spout"})
+	mustAddVertex(t, g, "comp:splitter", "component", Properties{"name": "splitter", "kind": "bolt"})
+	mustAddVertex(t, g, "comp:counter", "component", Properties{"name": "counter", "kind": "bolt"})
+	mustAddEdge(t, g, "comp:spout", "comp:splitter", "stream")
+	mustAddEdge(t, g, "comp:splitter", "comp:counter", "stream")
+
+	ids, err := g.V().HasLabel("component").Has("kind", "bolt").IDs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ids, []string{"comp:counter", "comp:splitter"}) {
+		t.Errorf("bolts = %v", ids)
+	}
+
+	names, err := g.V("comp:spout").Out("stream").Out("stream").Values("name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(names, []any{"counter"}) {
+		t.Errorf("two hops = %v", names)
+	}
+
+	paths, err := g.V("comp:spout").Out().Out().Paths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(paths, [][]string{{"comp:spout", "comp:splitter", "comp:counter"}}) {
+		t.Errorf("paths = %v", paths)
+	}
+
+	back, err := g.V("comp:counter").In("stream").IDs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, []string{"comp:splitter"}) {
+		t.Errorf("in = %v", back)
+	}
+
+	n, err := g.V().Count()
+	if err != nil || n != 3 {
+		t.Errorf("count = %d, %v", n, err)
+	}
+
+	if _, err := g.V("ghost").IDs(); !errors.Is(err, ErrNotFound) {
+		t.Errorf("ghost start: %v", err)
+	}
+}
+
+func TestTraversalDedupAndLimit(t *testing.T) {
+	g := New()
+	mustAddVertex(t, g, "a", "x", nil)
+	mustAddVertex(t, g, "b", "x", nil)
+	mustAddVertex(t, g, "t", "x", nil)
+	mustAddEdge(t, g, "a", "t", "e")
+	mustAddEdge(t, g, "b", "t", "e")
+	ids, err := g.V("a", "b").Out().IDs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 {
+		t.Errorf("pre-dedup = %v", ids)
+	}
+	ids, err = g.V("a", "b").Out().Dedup().IDs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ids, []string{"t"}) {
+		t.Errorf("dedup = %v", ids)
+	}
+	ids, err = g.V().Limit(2).IDs()
+	if err != nil || len(ids) != 2 {
+		t.Errorf("limit = %v, %v", ids, err)
+	}
+}
+
+func TestEdgesSnapshot(t *testing.T) {
+	g := chainGraph(t)
+	es := g.Edges()
+	if len(es) != 2 || es[0].From != "a" {
+		t.Errorf("edges = %+v", es)
+	}
+	es[0].From = "tampered"
+	if g.Edges()[0].From != "a" {
+		t.Error("Edges aliases internal state")
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	g := New()
+	mustAddVertex(t, g, "root", "x", nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				id := string(rune('a'+w)) + "-" + string(rune('0'+i%10))
+				g.AddVertex(id, "x", nil) //nolint:errcheck
+				g.AddEdge("root", id, "e", nil)
+				g.V().HasLabel("x").Count() //nolint:errcheck
+				g.OutNeighbors("root")
+			}
+		}(w)
+	}
+	wg.Wait()
+	if g.VertexCount() != 1+8*10 {
+		t.Errorf("vertices = %d", g.VertexCount())
+	}
+}
+
+func TestQuickTopoSortRespectsEdges(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := New()
+		n := 2 + r.Intn(15)
+		ids := make([]string, n)
+		for i := range ids {
+			ids[i] = string(rune('a' + i))
+			if err := g.AddVertex(ids[i], "x", nil); err != nil {
+				return false
+			}
+		}
+		// Random DAG: edges only forward in index order.
+		type pair struct{ f, t int }
+		var edges []pair
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if r.Intn(3) == 0 {
+					if _, err := g.AddEdge(ids[i], ids[j], "e", nil); err != nil {
+						return false
+					}
+					edges = append(edges, pair{i, j})
+				}
+			}
+		}
+		order, err := g.TopoSort()
+		if err != nil {
+			return false
+		}
+		pos := map[string]int{}
+		for i, id := range order {
+			pos[id] = i
+		}
+		for _, e := range edges {
+			if pos[ids[e.f]] >= pos[ids[e.t]] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,149 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+
+	"caladrius/internal/topology"
+)
+
+func gremlinGraph(t *testing.T) *Graph {
+	t.Helper()
+	top, err := topology.NewBuilder("word-count").
+		AddSpout("spout", 2).
+		AddBolt("splitter", 2).
+		AddBolt("counter", 4).
+		Connect("spout", "splitter", topology.ShuffleGrouping).
+		Connect("splitter", "counter", topology.FieldsGrouping, "word").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := topology.RoundRobinPack(top, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := BuildPhysical(top, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGremlinQueries(t *testing.T) {
+	g := gremlinGraph(t)
+	cases := []struct {
+		q    string
+		want any
+	}{
+		{"g.V().count()", 10}, // 8 instances + 2 stream managers
+		{"g.V().hasLabel('stmgr').count()", 2},
+		{"g.V().hasLabel('instance').has('component','splitter').count()", 2},
+		{"V().hasLabel('instance').has('component','spout').out('stream').dedup().count()", 2},
+		{"g.V('inst:spout[0]').out('stream').out('stream').count()", 8}, // 2 splitters × 4 counters
+		{"g.V('inst:spout[0]').out('stream').out('stream').dedup().count()", 4},
+		{"g.V().hasLabel('instance').has('component','counter').has('index',0).ids()", []string{"inst:counter[0]"}},
+		{"g.V().hasLabel('stmgr').values('container')", []any{0, 1}},
+		{"g.V().hasLabel('instance').limit(3).count()", 3},
+	}
+	for _, c := range cases {
+		got, err := g.Query(c.q)
+		if err != nil {
+			t.Errorf("Query(%q): %v", c.q, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Query(%q) = %#v, want %#v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestGremlinPaths(t *testing.T) {
+	g := gremlinGraph(t)
+	got, err := g.Query("g.V('inst:spout[0]').out('stream').path()")
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, ok := got.([][]string)
+	if !ok || len(paths) != 2 {
+		t.Fatalf("paths = %#v", got)
+	}
+	for _, p := range paths {
+		if len(p) != 2 || p[0] != "inst:spout[0]" {
+			t.Errorf("path = %v", p)
+		}
+	}
+}
+
+func TestGremlinDefaultTerminal(t *testing.T) {
+	g := gremlinGraph(t)
+	got, err := g.Query("g.V().hasLabel('stmgr')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, ok := got.([]string)
+	if !ok || len(ids) != 2 {
+		t.Fatalf("default terminal = %#v", got)
+	}
+}
+
+func TestGremlinStringEscapes(t *testing.T) {
+	g := New()
+	if err := g.AddVertex("v", "x", Properties{"name": "it's"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.Query("g.V().has('name','it''s').count()")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("escaped match = %v", got)
+	}
+}
+
+func TestGremlinErrors(t *testing.T) {
+	g := gremlinGraph(t)
+	bad := []string{
+		"",
+		"out('stream')",               // must start with V
+		"g.V().bogus()",               // unknown step
+		"g.V().count().out('stream')", // terminal not last
+		"g.V().has('only-one-arg')",   // has arity
+		"g.V().hasLabel()",            // empty hasLabel
+		"g.V().limit('x')",            // bad limit arg
+		"g.V().limit(-1)",             // negative limit
+		"g.V().values()",              // values arity
+		"g.V().out('unterminated",     // unterminated string/paren
+		"g.V().out('a')extra",         // junk between steps
+		"g.V",                         // missing parens
+		"g.V().hasLabel(5)",           // non-string label
+		"g.V().has('k', unquoted)",    // bad literal
+		"g.V('ghost').count()",        // unknown start vertex
+		"g.V().dedup(1)",              // dedup arity
+	}
+	for _, q := range bad {
+		if _, err := g.Query(q); err == nil {
+			t.Errorf("Query(%q): expected error", q)
+		}
+	}
+}
+
+func TestGremlinNumericAndBoolArgs(t *testing.T) {
+	g := New()
+	if err := g.AddVertex("a", "x", Properties{"n": int64(5), "ok": true, "f": 2.5}); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{
+		"g.V().has('n',5).count()",
+		"g.V().has('ok',true).count()",
+		"g.V().has('f',2.5).count()",
+	} {
+		got, err := g.Query(q)
+		if err != nil {
+			t.Fatalf("Query(%q): %v", q, err)
+		}
+		if got != 1 {
+			t.Errorf("Query(%q) = %v, want 1", q, got)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package heron
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"caladrius/internal/topology"
+	"caladrius/internal/tsdb"
+)
+
+// Cluster manages named running simulations the way a Heron cluster
+// manages topologies: submit, advance simulated time, and apply
+// `heron update`-style parallelism changes. An update replaces the
+// running simulation with one built from the new packing plan but
+// keeps writing metrics to the same database, so a topology's metric
+// history spans its scaling events — exactly what Caladrius calibrates
+// from in production.
+type Cluster struct {
+	mu   sync.Mutex
+	jobs map[string]*job
+	db   *tsdb.DB
+}
+
+type job struct {
+	topology *topology.Topology
+	plan     *topology.PackingPlan
+	cfg      Config
+	sim      *Simulation
+	// offset is the simulated time already consumed by predecessors of
+	// the current simulation (before the last update).
+	offset time.Duration
+}
+
+// NewCluster creates an empty cluster writing all metrics into one
+// shared database (created when nil).
+func NewCluster(db *tsdb.DB) *Cluster {
+	if db == nil {
+		db = tsdb.New(0)
+	}
+	return &Cluster{jobs: map[string]*job{}, db: db}
+}
+
+// DB returns the shared metrics database.
+func (c *Cluster) DB() *tsdb.DB { return c.db }
+
+// Submit starts a topology on the cluster. The config's Topology, DB
+// and Start are managed by the cluster: DB is forced to the shared
+// database and Start defaults as in New.
+func (c *Cluster) Submit(cfg Config) error {
+	if cfg.Topology == nil {
+		return errors.New("heron: nil topology")
+	}
+	name := cfg.Topology.Name()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.jobs[name]; dup {
+		return fmt.Errorf("heron: topology %q already running", name)
+	}
+	cfg.DB = c.db
+	sim, err := New(cfg)
+	if err != nil {
+		return err
+	}
+	c.jobs[name] = &job{
+		topology: cfg.Topology,
+		plan:     sim.cfg.Plan,
+		cfg:      cfg,
+		sim:      sim,
+	}
+	return nil
+}
+
+// Kill removes a topology. Its metric history remains in the database.
+func (c *Cluster) Kill(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.jobs[name]; !ok {
+		return fmt.Errorf("heron: topology %q not running", name)
+	}
+	delete(c.jobs, name)
+	return nil
+}
+
+// Topologies lists running topology names, sorted.
+func (c *Cluster) Topologies() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.jobs))
+	for n := range c.jobs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Info returns the running topology and its current packing plan.
+func (c *Cluster) Info(name string) (*topology.Topology, *topology.PackingPlan, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[name]
+	if !ok {
+		return nil, nil, fmt.Errorf("heron: topology %q not running", name)
+	}
+	return j.topology, j.plan, nil
+}
+
+// Elapsed returns the total simulated time of a topology across all its
+// configurations.
+func (c *Cluster) Elapsed(name string) (time.Duration, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[name]
+	if !ok {
+		return 0, fmt.Errorf("heron: topology %q not running", name)
+	}
+	return j.offset + j.sim.Elapsed(), nil
+}
+
+// Run advances every running topology by the same simulated duration.
+func (c *Cluster) Run(d time.Duration) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for name, j := range c.jobs {
+		if err := j.sim.Run(d); err != nil {
+			return fmt.Errorf("heron: topology %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// Update applies a `heron update`: the topology's component
+// parallelisms change, a new round-robin packing plan (same container
+// count) is computed with a bumped version, and the topology restarts
+// from empty queues — as a real update restarts instances — while its
+// metric history continues in the shared database.
+//
+// When dryRun is true nothing is changed; the returned plan is the
+// packing plan the update *would* produce. This mirrors `heron update
+// --dry-run`, the hook Caladrius uses to cost configurations without
+// deployment (§V).
+func (c *Cluster) Update(name string, parallelisms map[string]int, dryRun bool) (*topology.PackingPlan, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[name]
+	if !ok {
+		return nil, fmt.Errorf("heron: topology %q not running", name)
+	}
+	newTop, err := j.topology.WithParallelism(parallelisms)
+	if err != nil {
+		return nil, err
+	}
+	newPlan, err := topology.RoundRobinPack(newTop, len(j.plan.Containers))
+	if err != nil {
+		return nil, err
+	}
+	newPlan.Version = j.plan.Version + 1
+	if dryRun {
+		return newPlan, nil
+	}
+	cfg := j.cfg
+	cfg.Topology = newTop
+	cfg.Plan = newPlan
+	cfg.DB = c.db
+	// The new simulation's clock continues where the old one stopped.
+	cfg.Start = j.sim.cfg.Start.Add(j.sim.Elapsed())
+	sim, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	j.offset += j.sim.Elapsed()
+	j.topology = newTop
+	j.plan = newPlan
+	j.cfg = cfg
+	j.sim = sim
+	return newPlan, nil
+}

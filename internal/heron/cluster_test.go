@@ -1,0 +1,208 @@
+package heron
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"caladrius/internal/topology"
+	"caladrius/internal/tsdb"
+	"caladrius/internal/workload"
+)
+
+func wordCountConfig(t *testing.T, splitterP int, ratePerMin float64) Config {
+	t.Helper()
+	top, err := WordCountTopology(4, splitterP, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Topology:   top,
+		Profiles:   WordCountProfiles(UniformKeys{}),
+		SpoutRates: map[string]workload.RateSchedule{"spout": workload.ConstantRate(ratePerMin / 60)},
+	}
+}
+
+func TestClusterSubmitRunKill(t *testing.T) {
+	c := NewCluster(nil)
+	if err := c.Submit(wordCountConfig(t, 2, 6e6)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Submit(wordCountConfig(t, 2, 6e6)); err == nil {
+		t.Error("duplicate submit accepted")
+	}
+	if got := c.Topologies(); len(got) != 1 || got[0] != "word-count" {
+		t.Errorf("topologies = %v", got)
+	}
+	if err := c.Run(3 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	el, err := c.Elapsed("word-count")
+	if err != nil || el != 3*time.Minute {
+		t.Errorf("elapsed = %v, %v", el, err)
+	}
+	if c.DB().TotalPoints() == 0 {
+		t.Error("no metrics written")
+	}
+	if err := c.Kill("word-count"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Kill("word-count"); err == nil {
+		t.Error("double kill accepted")
+	}
+	if _, err := c.Elapsed("word-count"); err == nil {
+		t.Error("elapsed of killed topology")
+	}
+	// History survives the kill.
+	if c.DB().TotalPoints() == 0 {
+		t.Error("metrics dropped on kill")
+	}
+}
+
+func TestClusterSubmitValidation(t *testing.T) {
+	c := NewCluster(nil)
+	if err := c.Submit(Config{}); err == nil {
+		t.Error("nil topology accepted")
+	}
+}
+
+func TestClusterUpdateDryRun(t *testing.T) {
+	c := NewCluster(nil)
+	if err := c.Submit(wordCountConfig(t, 2, 6e6)); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := c.Update("word-count", map[string]int{"splitter": 4}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.InstanceCount() != 4+4+3 {
+		t.Errorf("dry-run plan instances = %d", plan.InstanceCount())
+	}
+	if plan.Version != 2 {
+		t.Errorf("dry-run plan version = %d", plan.Version)
+	}
+	// Dry run must not change the running topology.
+	top, livePlan, err := c.Info("word-count")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.Component("splitter").Parallelism != 2 || livePlan.Version != 1 {
+		t.Error("dry run mutated the running topology")
+	}
+}
+
+func TestClusterUpdateScalesAndKeepsHistory(t *testing.T) {
+	c := NewCluster(nil)
+	// Saturating rate for splitter p=1 (SP 10.8M).
+	if err := c.Submit(wordCountConfig(t, 1, 15e6)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(8 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	// Scale out to absorb the traffic.
+	plan, err := c.Update("word-count", map[string]int{"splitter": 2}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Version != 2 {
+		t.Errorf("plan version = %d", plan.Version)
+	}
+	if err := c.Run(8 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	el, err := c.Elapsed("word-count")
+	if err != nil || el != 16*time.Minute {
+		t.Fatalf("elapsed = %v, %v", el, err)
+	}
+	// Metric history is continuous in one database: before the update
+	// the splitter was saturated (execute pinned at 10.8M/min with
+	// backpressure); after it, the full 15M flows without backpressure.
+	db := c.DB()
+	start := time.Date(2026, 1, 5, 0, 0, 0, 0, time.UTC)
+	componentRate := func(from, to time.Time) float64 {
+		s, err := db.Downsample(MetricExecuteCount, tsdb.Labels{"component": "splitter"},
+			from, to, time.Minute, tsdb.AggSum, tsdb.AggSum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, p := range s.Points {
+			sum += p.V
+		}
+		return sum / float64(len(s.Points))
+	}
+	before := componentRate(start.Add(4*time.Minute), start.Add(8*time.Minute))
+	if math.Abs(before-10.8e6)/10.8e6 > 0.03 {
+		t.Errorf("pre-update execute = %.4g, want ≈10.8e6", before)
+	}
+	after := componentRate(start.Add(12*time.Minute), start.Add(16*time.Minute))
+	// Component sum over 2 instances ≈ offered 15M.
+	if math.Abs(after-15e6)/15e6 > 0.03 {
+		t.Errorf("post-update execute = %.4g, want ≈15e6", after)
+	}
+	bpAfter, err := db.Aggregate(MetricBackpressureMs, tsdb.Labels{"component": TopologyComponent},
+		start.Add(12*time.Minute), start.Add(16*time.Minute), tsdb.AggMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bpAfter > 1000 {
+		t.Errorf("post-update backpressure = %.0f ms", bpAfter)
+	}
+}
+
+func TestClusterUpdateErrors(t *testing.T) {
+	c := NewCluster(nil)
+	if _, err := c.Update("ghost", nil, false); err == nil {
+		t.Error("update of missing topology accepted")
+	}
+	if err := c.Submit(wordCountConfig(t, 2, 6e6)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Update("word-count", map[string]int{"ghost": 3}, false); err == nil ||
+		!strings.Contains(err.Error(), "unknown component") {
+		t.Errorf("unknown component: %v", err)
+	}
+	if _, err := c.Update("word-count", map[string]int{"splitter": 0}, false); err == nil {
+		t.Error("zero parallelism accepted")
+	}
+}
+
+func TestClusterMultipleTopologies(t *testing.T) {
+	c := NewCluster(nil)
+	cfgA := wordCountConfig(t, 2, 6e6)
+	topB, err := topology.NewBuilder("other-job").
+		AddSpout("src", 2).
+		AddBolt("work", 2).
+		Connect("src", "work", topology.ShuffleGrouping).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgB := Config{
+		Topology: topB,
+		Profiles: map[string]ComponentProfile{
+			"src":  {ServiceRate: 1e5},
+			"work": {ServiceRate: 1e5},
+		},
+		SpoutRates: map[string]workload.RateSchedule{"src": workload.ConstantRate(100)},
+	}
+	if err := c.Submit(cfgA); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Submit(cfgB); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(2 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	got := c.Topologies()
+	if len(got) != 2 || got[0] != "other-job" || got[1] != "word-count" {
+		t.Errorf("topologies = %v", got)
+	}
+	// Both write into the shared DB, label-separated.
+	if n := len(c.DB().LabelValues(MetricExecuteCount, "topology")); n != 2 {
+		t.Errorf("topology labels = %d", n)
+	}
+}

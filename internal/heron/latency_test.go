@@ -1,0 +1,59 @@
+package heron
+
+import (
+	"testing"
+	"time"
+
+	"caladrius/internal/tsdb"
+)
+
+// TestLatencyGoldenSignal checks the fourth golden signal: queueing
+// latency is negligible below the saturation point and rises by orders
+// of magnitude under backpressure (queued tuples wait while the
+// instance drains at its service rate).
+func TestLatencyGoldenSignal(t *testing.T) {
+	latency := func(rate float64) float64 {
+		s, err := NewWordCount(WordCountOptions{RatePerMinute: rate})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(8 * time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		v, err := s.DB().Aggregate(MetricLatencyMs, tsdb.Labels{"component": "splitter"},
+			s.Start().Add(3*time.Minute), s.Start().Add(8*time.Minute), tsdb.AggMean)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	low := latency(6e6)   // well below SP
+	high := latency(15e6) // saturated
+	if low > 100 {
+		t.Errorf("unsaturated latency = %.1f ms, want small", low)
+	}
+	// Saturated queue oscillates between the watermarks: 200k–400k
+	// tuples over 180k/s ≈ 1.1–2.2 s.
+	if high < 500 {
+		t.Errorf("saturated latency = %.1f ms, want ≳500 (queued behind watermarks)", high)
+	}
+	if high < 20*low+100 {
+		t.Errorf("latency should explode under saturation: low %.1f, high %.1f", low, high)
+	}
+}
+
+// TestLatencyNotEmittedForSpouts confirms spouts (which have no input
+// queue) do not report queue latency.
+func TestLatencyNotEmittedForSpouts(t *testing.T) {
+	s, err := NewWordCount(WordCountOptions{RatePerMinute: 6e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(3 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.DB().Aggregate(MetricLatencyMs, tsdb.Labels{"component": "spout"},
+		s.Start(), s.Start().Add(3*time.Minute), tsdb.AggMean); err == nil {
+		t.Error("spout latency series exists")
+	}
+}

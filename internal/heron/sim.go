@@ -1,0 +1,603 @@
+package heron
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"caladrius/internal/topology"
+	"caladrius/internal/tsdb"
+	"caladrius/internal/workload"
+)
+
+// Metric names emitted by the simulator, modelled on Heron's metrics.
+const (
+	// MetricSourceCount is the external offered load at a spout
+	// instance per window (the paper's "source throughput").
+	MetricSourceCount = "source-count"
+	// MetricArrivalCount is tuples arriving at an instance per window.
+	MetricArrivalCount = "arrival-count"
+	// MetricExecuteCount is tuples processed per window (the paper's
+	// "processed-count"; the entity's input throughput).
+	MetricExecuteCount = "execute-count"
+	// MetricEmitCount is tuples emitted per window (output throughput).
+	MetricEmitCount = "emit-count"
+	// MetricFailCount is tuples failed in user logic per window.
+	MetricFailCount = "fail-count"
+	// MetricBackpressureMs is milliseconds of the window this instance
+	// spent initiating backpressure (0–60000 for 1-minute windows).
+	MetricBackpressureMs = "backpressure-time-ms"
+	// MetricCPULoad is the average CPU cores used over the window.
+	MetricCPULoad = "cpu-load"
+	// MetricPendingBytes is the queue occupancy gauge at window end.
+	MetricPendingBytes = "pending-bytes"
+	// MetricBacklogTuples is the external (pub-sub) backlog gauge at a
+	// spout instance at window end.
+	MetricBacklogTuples = "external-backlog"
+	// MetricStreamEmitCount is tuples emitted per window on one named
+	// output stream (label "stream"), enabling per-stream I/O
+	// coefficient calibration for fan-out components.
+	MetricStreamEmitCount = "stream-emit-count"
+	// MetricRestartCount counts out-of-memory restarts of an instance
+	// per window: §V-E notes instances "may exceed the container memory
+	// limit when their input rate rises to sufficiently high levels".
+	// A restart drops the instance's queue (counted as failed tuples)
+	// and takes the instance offline for RestartDelay.
+	MetricRestartCount = "restart-count"
+	// MetricLatencyMs is the average queueing delay a tuple experienced
+	// at this instance over the window, in milliseconds (Little's law:
+	// queue length over service rate, averaged per tick). One of the
+	// paper's four golden signals: latency rises once queues build,
+	// i.e. under backpressure.
+	MetricLatencyMs = "queue-latency-ms"
+)
+
+// TopologyComponent is the pseudo-component label under which
+// topology-wide metrics (e.g. topology backpressure time) are stored.
+const TopologyComponent = "__topology__"
+
+// Default watermarks match Heron's defaults quoted in the paper.
+const (
+	DefaultHighWatermarkBytes = 100e6
+	DefaultLowWatermarkBytes  = 50e6
+)
+
+// Config assembles a simulation.
+type Config struct {
+	// Topology is the logical job; required.
+	Topology *topology.Topology
+	// Plan assigns instances to containers. Default: round-robin over
+	// 2 containers (the paper's Fig. 1 layout).
+	Plan *topology.PackingPlan
+	// Profiles maps component name → performance profile; every
+	// component must have one.
+	Profiles map[string]ComponentProfile
+	// SpoutRates maps spout component name → total offered source rate
+	// (tuples/second across all its instances); every spout must have
+	// one.
+	SpoutRates map[string]workload.RateSchedule
+	// HighWatermarkBytes / LowWatermarkBytes configure backpressure
+	// hysteresis; defaults 100 MB / 50 MB.
+	HighWatermarkBytes float64
+	LowWatermarkBytes  float64
+	// Tick is the simulation step. Default 100 ms.
+	Tick time.Duration
+	// MetricsInterval is the metrics rollup window. Default 1 minute.
+	MetricsInterval time.Duration
+	// DB receives metrics; one is created when nil.
+	DB *tsdb.DB
+	// Start is the simulated wall-clock origin. Default 2026-01-05
+	// 00:00 UTC (a Monday, so weekly seasonality aligns).
+	Start time.Time
+	// SlowFactors scales individual instances' service rates (failure
+	// injection: a degraded instance has factor < 1).
+	SlowFactors map[topology.InstanceID]float64
+	// ServiceNoiseStd makes the run behave like a real deployment on a
+	// shared cluster: each instance's capacity is scaled once per run
+	// by a Gaussian factor (the host it landed on), and jittered each
+	// tick (contention, GC pauses). 0 disables both; the paper's
+	// testbed numbers imply a few percent.
+	ServiceNoiseStd float64
+	// NoiseSeed makes the noise reproducible; runs with different
+	// seeds act as independent repetitions of an experiment.
+	NoiseSeed int64
+	// RestartDelay is how long an instance stays offline after an
+	// out-of-memory restart. Default 10s. An instance restarts when its
+	// pending queue exceeds its container RAM allocation — with the
+	// default 2 GB per instance and 100 MB watermarks this never fires;
+	// it is reachable via custom resources or watermarks (failure
+	// injection).
+	RestartDelay time.Duration
+}
+
+type route struct {
+	stream      string
+	toComponent string
+	grouping    topology.Grouping
+	weights     []float64 // fields grouping shares per downstream instance
+	alpha       float64
+	toInstances []*instanceState
+}
+
+type instanceState struct {
+	id        topology.InstanceID
+	container int
+	profile   ComponentProfile
+	isSpout   bool
+	slow      float64 // service-rate multiplier
+
+	queueTuples float64 // pending in the instance's input queue
+	backlog     float64 // external source backlog (spouts)
+	bp          bool    // instance currently initiating backpressure
+	ramBytes    float64 // container RAM allocation for this instance
+	downTicks   int     // remaining offline ticks after an OOM restart
+	wRestarts   float64
+
+	arrivedTick float64 // arrivals routed to this instance this tick
+
+	// Window accumulators.
+	wSource   float64
+	wArrived  float64
+	wExecuted float64
+	wEmitted  float64
+	wFailed   float64
+	wBpMs     float64
+	wCPUSecs  float64
+	wLatMs    float64 // sum over ticks of per-tick queue latency (ms)
+	wLatTicks float64
+	// wStreamEmit accumulates per-stream emit counts, keyed by stream
+	// name (allocated lazily; most components have one stream).
+	wStreamEmit map[string]float64
+
+	routes []route
+}
+
+// Simulation is a runnable instance of the simulator. Create with New;
+// a Simulation is single-goroutine (drive it from one caller).
+type Simulation struct {
+	cfg       Config
+	db        *tsdb.DB
+	instances []*instanceState // topological component order
+	byComp    map[string][]*instanceState
+	elapsed   time.Duration
+	windowEnd time.Duration
+	topoBP    bool // backpressure state broadcast this tick (previous tick's flags)
+	wTopoBpMs float64
+	noise     *rand.Rand // nil when ServiceNoiseStd == 0
+}
+
+// New validates the configuration and builds a simulation.
+func New(cfg Config) (*Simulation, error) {
+	if cfg.Topology == nil {
+		return nil, errors.New("heron: nil topology")
+	}
+	t := cfg.Topology
+	if cfg.Plan == nil {
+		plan, err := topology.RoundRobinPack(t, 2)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Plan = plan
+	} else if err := cfg.Plan.Validate(t); err != nil {
+		return nil, err
+	}
+	if cfg.HighWatermarkBytes == 0 {
+		cfg.HighWatermarkBytes = DefaultHighWatermarkBytes
+	}
+	if cfg.LowWatermarkBytes == 0 {
+		cfg.LowWatermarkBytes = DefaultLowWatermarkBytes
+	}
+	if cfg.LowWatermarkBytes <= 0 || cfg.HighWatermarkBytes <= cfg.LowWatermarkBytes {
+		return nil, fmt.Errorf("heron: watermarks high %g must exceed low %g > 0", cfg.HighWatermarkBytes, cfg.LowWatermarkBytes)
+	}
+	if cfg.Tick == 0 {
+		cfg.Tick = 100 * time.Millisecond
+	}
+	if cfg.Tick <= 0 {
+		return nil, fmt.Errorf("heron: non-positive tick %s", cfg.Tick)
+	}
+	if cfg.MetricsInterval == 0 {
+		cfg.MetricsInterval = time.Minute
+	}
+	if cfg.MetricsInterval < cfg.Tick {
+		return nil, fmt.Errorf("heron: metrics interval %s below tick %s", cfg.MetricsInterval, cfg.Tick)
+	}
+	if cfg.DB == nil {
+		cfg.DB = tsdb.New(0)
+	}
+	if cfg.Start.IsZero() {
+		cfg.Start = time.Date(2026, 1, 5, 0, 0, 0, 0, time.UTC)
+	}
+	for _, c := range t.Components() {
+		p, ok := cfg.Profiles[c.Name]
+		if !ok {
+			return nil, fmt.Errorf("heron: component %q has no profile", c.Name)
+		}
+		if err := p.validate(c.Name); err != nil {
+			return nil, err
+		}
+		if c.Kind == topology.Spout {
+			if _, ok := cfg.SpoutRates[c.Name]; !ok {
+				return nil, fmt.Errorf("heron: spout %q has no rate schedule", c.Name)
+			}
+		}
+	}
+	for name := range cfg.SpoutRates {
+		c := t.Component(name)
+		if c == nil || c.Kind != topology.Spout {
+			return nil, fmt.Errorf("heron: rate schedule for non-spout %q", name)
+		}
+	}
+
+	if cfg.ServiceNoiseStd < 0 {
+		return nil, fmt.Errorf("heron: negative service noise %g", cfg.ServiceNoiseStd)
+	}
+	if cfg.RestartDelay == 0 {
+		cfg.RestartDelay = 10 * time.Second
+	}
+	if cfg.RestartDelay < 0 {
+		return nil, fmt.Errorf("heron: negative restart delay %s", cfg.RestartDelay)
+	}
+	s := &Simulation{cfg: cfg, db: cfg.DB, byComp: map[string][]*instanceState{}}
+	if cfg.ServiceNoiseStd > 0 {
+		s.noise = rand.New(rand.NewSource(cfg.NoiseSeed))
+	}
+	for _, id := range t.Instances() {
+		cont, _ := cfg.Plan.ContainerOf(id)
+		comp := t.Component(id.Component)
+		slow := 1.0
+		if f, ok := cfg.SlowFactors[id]; ok {
+			if f <= 0 {
+				return nil, fmt.Errorf("heron: non-positive slow factor %g for %s", f, id)
+			}
+			slow = f
+		}
+		if s.noise != nil {
+			// Per-run systematic placement variation: the "host" this
+			// instance landed on for this deployment.
+			f := 1 + cfg.ServiceNoiseStd*s.noise.NormFloat64()
+			if f < 0.1 {
+				f = 0.1
+			}
+			slow *= f
+		}
+		inst := &instanceState{
+			id:        id,
+			container: cont,
+			profile:   cfg.Profiles[id.Component].withDefaults(),
+			isSpout:   comp.Kind == topology.Spout,
+			slow:      slow,
+			ramBytes:  float64(comp.Resources.RAMMB) * 1e6,
+		}
+		s.instances = append(s.instances, inst)
+		s.byComp[id.Component] = append(s.byComp[id.Component], inst)
+	}
+	// Precompute routing tables.
+	for _, inst := range s.instances {
+		for _, stream := range t.Outbound(inst.id.Component) {
+			emit := inst.profile.alphaFor(stream.Name)
+			downP := t.Component(stream.To).Parallelism
+			var weights []float64
+			if stream.Grouping == topology.FieldsGrouping {
+				km := emit.Keys
+				if km == nil {
+					km = UniformKeys{}
+				}
+				weights = km.Weights(downP)
+			}
+			inst.routes = append(inst.routes, route{
+				stream:      stream.Name,
+				toComponent: stream.To,
+				grouping:    stream.Grouping,
+				weights:     weights,
+				alpha:       emit.Alpha,
+				toInstances: s.byComp[stream.To],
+			})
+		}
+	}
+	return s, nil
+}
+
+// DB returns the metrics database the simulation writes to.
+func (s *Simulation) DB() *tsdb.DB { return s.db }
+
+// Start returns the simulated wall-clock origin.
+func (s *Simulation) Start() time.Time { return s.cfg.Start }
+
+// Elapsed returns the simulated time processed so far.
+func (s *Simulation) Elapsed() time.Duration { return s.elapsed }
+
+// Run advances the simulation by the given simulated duration, writing
+// metrics for every completed rollup window.
+func (s *Simulation) Run(d time.Duration) error {
+	if d < 0 {
+		return fmt.Errorf("heron: negative duration %s", d)
+	}
+	end := s.elapsed + d
+	for s.elapsed < end {
+		s.step()
+	}
+	return nil
+}
+
+// step advances one tick.
+func (s *Simulation) step() {
+	dt := s.cfg.Tick
+	dtSec := dt.Seconds()
+
+	// Backpressure state broadcast: spouts react to the flags set at
+	// the end of the previous tick (one-tick propagation delay).
+	s.topoBP = false
+	for _, inst := range s.instances {
+		if inst.bp {
+			s.topoBP = true
+			break
+		}
+	}
+
+	for _, inst := range s.instances {
+		var processed float64
+		capacity := inst.profile.ServiceRate * inst.slow * dtSec
+		if s.noise != nil {
+			f := 1 + s.cfg.ServiceNoiseStd*s.noise.NormFloat64()
+			if f < 0 {
+				f = 0
+			}
+			capacity *= f
+		}
+		if inst.isSpout {
+			offered := s.cfg.SpoutRates[inst.id.Component](s.elapsed) * dtSec / float64(len(s.byComp[inst.id.Component]))
+			if offered < 0 {
+				offered = 0
+			}
+			inst.wSource += offered
+			inst.backlog += offered
+			if !s.topoBP {
+				processed = inst.backlog
+				if processed > capacity {
+					processed = capacity
+				}
+				// A spout draining backlog at its maximum pull rate
+				// must not overshoot downstream queues within one
+				// tick: in the real system, in-flight data is bounded
+				// by the stream managers' socket buffers, so delivery
+				// halts as soon as the receiver's high watermark is
+				// reached. Bound this tick's pull by the downstream
+				// headroom (queue space up to the watermark plus one
+				// tick of downstream processing).
+				if room := s.downstreamHeadroom(inst, dtSec); processed > room {
+					processed = room
+				}
+				inst.backlog -= processed
+			}
+		} else {
+			arrived := inst.arrivedTick
+			inst.arrivedTick = 0
+			inst.wArrived += arrived
+			inst.queueTuples += arrived
+			if inst.queueTuples*inst.profile.BytesPerTuple > inst.ramBytes {
+				// Out of memory: the instance restarts, losing its
+				// queued tuples and going offline for RestartDelay.
+				inst.wFailed += inst.queueTuples
+				inst.queueTuples = 0
+				inst.wRestarts++
+				inst.downTicks = int(s.cfg.RestartDelay / s.cfg.Tick)
+			}
+			if inst.downTicks > 0 {
+				inst.downTicks--
+			} else {
+				processed = inst.queueTuples
+				if processed > capacity {
+					processed = capacity
+				}
+				inst.queueTuples -= processed
+			}
+		}
+		failed := processed * inst.profile.FailureRate
+		ok := processed - failed
+		inst.wExecuted += processed
+		inst.wFailed += failed
+
+		var emitted float64
+		for _, r := range inst.routes {
+			out := ok * r.alpha
+			if out == 0 {
+				continue
+			}
+			streamOut := out
+			switch r.grouping {
+			case topology.ShuffleGrouping:
+				share := out / float64(len(r.toInstances))
+				for _, down := range r.toInstances {
+					down.arrivedTick += share
+				}
+				emitted += out
+			case topology.FieldsGrouping:
+				for i, down := range r.toInstances {
+					down.arrivedTick += out * r.weights[i]
+				}
+				emitted += out
+			case topology.AllGrouping:
+				for _, down := range r.toInstances {
+					down.arrivedTick += out
+				}
+				streamOut = out * float64(len(r.toInstances))
+				emitted += streamOut
+			case topology.GlobalGrouping:
+				r.toInstances[0].arrivedTick += out
+				emitted += out
+			}
+			if inst.wStreamEmit == nil {
+				inst.wStreamEmit = map[string]float64{}
+			}
+			inst.wStreamEmit[r.stream+"->"+r.toComponent] += streamOut
+		}
+		inst.wEmitted += emitted
+		inst.wCPUSecs += processed*inst.profile.CPUPerTuple + (processed+emitted)*inst.profile.GatewayCPUPerTuple
+		if !inst.isSpout {
+			// Little's law estimate of per-tuple queueing delay: the
+			// queue left after service divided by the service rate.
+			rate := inst.profile.ServiceRate * inst.slow
+			if rate > 0 {
+				inst.wLatMs += inst.queueTuples / rate * 1000
+				inst.wLatTicks++
+			}
+		}
+	}
+
+	// Update watermark-based backpressure flags.
+	for _, inst := range s.instances {
+		pending := inst.queueTuples * inst.profile.BytesPerTuple
+		if pending > s.cfg.HighWatermarkBytes {
+			inst.bp = true
+		} else if pending < s.cfg.LowWatermarkBytes {
+			inst.bp = false
+		}
+		if inst.bp {
+			inst.wBpMs += float64(dt.Milliseconds())
+		}
+	}
+	if s.topoBP {
+		s.wTopoBpMs += float64(dt.Milliseconds())
+	}
+
+	s.elapsed += dt
+	if s.elapsed >= s.windowEnd+s.cfg.MetricsInterval {
+		s.flushWindow()
+	}
+}
+
+// downstreamHeadroom returns how many tuples a spout instance may emit
+// this tick without pushing any downstream instance past its high
+// watermark, allowing for one tick of downstream processing. The
+// constraint is evaluated per route and converted to input tuples via
+// the route's I/O coefficient.
+func (s *Simulation) downstreamHeadroom(inst *instanceState, dtSec float64) float64 {
+	room := math.Inf(1)
+	for _, r := range inst.routes {
+		if r.alpha <= 0 {
+			continue
+		}
+		headroom := func(down *instanceState) float64 {
+			h := s.cfg.HighWatermarkBytes/down.profile.BytesPerTuple - (down.queueTuples + down.arrivedTick)
+			if h < 0 {
+				h = 0
+			}
+			return h + down.profile.ServiceRate*down.slow*dtSec
+		}
+		var allowedOut float64
+		switch r.grouping {
+		case topology.ShuffleGrouping:
+			minH := math.Inf(1)
+			for _, down := range r.toInstances {
+				if h := headroom(down); h < minH {
+					minH = h
+				}
+			}
+			allowedOut = minH * float64(len(r.toInstances))
+		case topology.FieldsGrouping:
+			allowedOut = math.Inf(1)
+			for i, down := range r.toInstances {
+				if r.weights[i] <= 0 {
+					continue
+				}
+				if a := headroom(down) / r.weights[i]; a < allowedOut {
+					allowedOut = a
+				}
+			}
+		case topology.AllGrouping:
+			allowedOut = math.Inf(1)
+			for _, down := range r.toInstances {
+				if h := headroom(down); h < allowedOut {
+					allowedOut = h
+				}
+			}
+		case topology.GlobalGrouping:
+			allowedOut = headroom(r.toInstances[0])
+		}
+		if a := allowedOut / r.alpha; a < room {
+			room = a
+		}
+	}
+	return room
+}
+
+// flushWindow writes the accumulated window metrics and resets the
+// accumulators.
+func (s *Simulation) flushWindow() {
+	stamp := s.cfg.Start.Add(s.windowEnd)
+	topo := s.cfg.Topology.Name()
+	for _, inst := range s.instances {
+		labels := tsdb.Labels{
+			"topology":  topo,
+			"component": inst.id.Component,
+			"instance":  fmt.Sprintf("%d", inst.id.Index),
+			"container": fmt.Sprintf("%d", inst.container),
+		}
+		if inst.isSpout {
+			s.db.Append(MetricSourceCount, labels, stamp, inst.wSource)
+			s.db.Append(MetricBacklogTuples, labels, stamp, inst.backlog)
+		}
+		s.db.Append(MetricArrivalCount, labels, stamp, inst.wArrived)
+		s.db.Append(MetricExecuteCount, labels, stamp, inst.wExecuted)
+		s.db.Append(MetricEmitCount, labels, stamp, inst.wEmitted)
+		s.db.Append(MetricFailCount, labels, stamp, inst.wFailed)
+		s.db.Append(MetricBackpressureMs, labels, stamp, inst.wBpMs)
+		s.db.Append(MetricCPULoad, labels, stamp, inst.wCPUSecs/s.cfg.MetricsInterval.Seconds())
+		if inst.wLatTicks > 0 {
+			s.db.Append(MetricLatencyMs, labels, stamp, inst.wLatMs/inst.wLatTicks)
+		}
+		for stream, v := range inst.wStreamEmit {
+			sl := tsdb.Labels{
+				"topology":  topo,
+				"component": inst.id.Component,
+				"instance":  fmt.Sprintf("%d", inst.id.Index),
+				"container": fmt.Sprintf("%d", inst.container),
+				"stream":    stream,
+			}
+			s.db.Append(MetricStreamEmitCount, sl, stamp, v)
+			inst.wStreamEmit[stream] = 0
+		}
+		s.db.Append(MetricPendingBytes, labels, stamp, inst.queueTuples*inst.profile.BytesPerTuple)
+		s.db.Append(MetricRestartCount, labels, stamp, inst.wRestarts)
+		inst.wSource, inst.wArrived, inst.wExecuted, inst.wEmitted = 0, 0, 0, 0
+		inst.wFailed, inst.wBpMs, inst.wCPUSecs, inst.wRestarts = 0, 0, 0, 0
+		inst.wLatMs, inst.wLatTicks = 0, 0
+	}
+	s.db.Append(MetricBackpressureMs, tsdb.Labels{
+		"topology":  topo,
+		"component": TopologyComponent,
+		"instance":  "0",
+		"container": "-1",
+	}, stamp, s.wTopoBpMs)
+	s.wTopoBpMs = 0
+	s.windowEnd += s.cfg.MetricsInterval
+}
+
+// InstanceSnapshot exposes live instance state for tests and debugging.
+type InstanceSnapshot struct {
+	ID             topology.InstanceID
+	Container      int
+	QueueTuples    float64
+	PendingBytes   float64
+	Backlog        float64
+	InBackpressure bool
+}
+
+// Snapshot returns the current state of every instance.
+func (s *Simulation) Snapshot() []InstanceSnapshot {
+	out := make([]InstanceSnapshot, len(s.instances))
+	for i, inst := range s.instances {
+		out[i] = InstanceSnapshot{
+			ID:             inst.id,
+			Container:      inst.container,
+			QueueTuples:    inst.queueTuples,
+			PendingBytes:   inst.queueTuples * inst.profile.BytesPerTuple,
+			Backlog:        inst.backlog,
+			InBackpressure: inst.bp,
+		}
+	}
+	return out
+}

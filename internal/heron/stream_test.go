@@ -1,0 +1,119 @@
+package heron
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"caladrius/internal/topology"
+	"caladrius/internal/tsdb"
+	"caladrius/internal/workload"
+)
+
+// TestPerStreamEmitCounts verifies that a fan-out component's emits are
+// recorded per stream with the right proportions, enabling per-stream
+// α calibration.
+func TestPerStreamEmitCounts(t *testing.T) {
+	top, err := topology.NewBuilder("fanout").
+		AddSpout("src", 2).
+		AddBolt("big", 2).
+		AddBolt("small", 2).
+		ConnectStream("wide", "src", "big", topology.ShuffleGrouping).
+		ConnectStream("narrow", "src", "small", topology.ShuffleGrouping).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles := map[string]ComponentProfile{
+		"src": {
+			ServiceRate: 1e5,
+			Emits: map[string]EmitProfile{
+				"wide":   {Alpha: 3},
+				"narrow": {Alpha: 0.5},
+			},
+		},
+		"big":   {ServiceRate: 1e6},
+		"small": {ServiceRate: 1e6},
+	}
+	sim, err := New(Config{
+		Topology:   top,
+		Profiles:   profiles,
+		SpoutRates: map[string]workload.RateSchedule{"src": workload.ConstantRate(1000)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(4 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	db := sim.DB()
+	window := func(stream string) float64 {
+		v, err := db.Aggregate(MetricStreamEmitCount, tsdb.Labels{"component": "src", "stream": stream},
+			sim.Start().Add(time.Minute), sim.Start().Add(4*time.Minute), tsdb.AggSum)
+		if err != nil {
+			t.Fatalf("stream %s: %v", stream, err)
+		}
+		return v
+	}
+	wide := window("wide->big")
+	narrow := window("narrow->small")
+	if wide <= 0 || narrow <= 0 {
+		t.Fatalf("stream counts: wide %g narrow %g", wide, narrow)
+	}
+	if ratio := wide / narrow; math.Abs(ratio-6) > 0.01 {
+		t.Errorf("wide/narrow = %g, want 6 (α 3 vs 0.5)", ratio)
+	}
+	// Per-stream counts sum to the aggregate emit count.
+	total, err := db.Aggregate(MetricEmitCount, tsdb.Labels{"component": "src"},
+		sim.Start().Add(time.Minute), sim.Start().Add(4*time.Minute), tsdb.AggSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(total-(wide+narrow)) > 1e-6*total {
+		t.Errorf("stream sum %g != aggregate %g", wide+narrow, total)
+	}
+}
+
+// TestAllGroupingStreamCountsReplicas confirms AllGrouping's per-stream
+// count includes every replica (matching the aggregate emit metric).
+func TestAllGroupingStreamCountsReplicas(t *testing.T) {
+	top, err := topology.NewBuilder("bcast").
+		AddSpout("src", 1).
+		AddBolt("sink", 3).
+		Connect("src", "sink", topology.AllGrouping).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := New(Config{
+		Topology: top,
+		Profiles: map[string]ComponentProfile{
+			"src":  {ServiceRate: 1e5},
+			"sink": {ServiceRate: 1e6},
+		},
+		SpoutRates: map[string]workload.RateSchedule{"src": workload.ConstantRate(100)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(3 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := sim.DB().Aggregate(MetricStreamEmitCount, tsdb.Labels{"component": "src"},
+		sim.Start().Add(time.Minute), sim.Start().Add(3*time.Minute), tsdb.AggSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggregate, err := sim.DB().Aggregate(MetricEmitCount, tsdb.Labels{"component": "src"},
+		sim.Start().Add(time.Minute), sim.Start().Add(3*time.Minute), tsdb.AggSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(streamed-aggregate) > 1e-9*aggregate {
+		t.Errorf("stream count %g != aggregate %g", streamed, aggregate)
+	}
+	// 2 minutes × 6000 tuples × 3 replicas.
+	if want := 2.0 * 6000 * 3; math.Abs(aggregate-want) > 1 {
+		t.Errorf("aggregate = %g, want %g", aggregate, want)
+	}
+}

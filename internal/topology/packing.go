@@ -1,0 +1,155 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Container is one scheduled unit of a packing plan: a set of instances
+// plus its dedicated stream manager and metrics manager (which the
+// simulator models explicitly).
+type Container struct {
+	ID        int
+	Instances []InstanceID
+	// CPUCores and RAMMB are the summed requests of the instances.
+	CPUCores float64
+	RAMMB    int
+}
+
+// PackingPlan is the physical representation of a topology: the
+// assignment of every instance to a container. Heron calls this the
+// packing plan (Fig. 1b in the paper).
+type PackingPlan struct {
+	Topology   string
+	Containers []Container
+	// byInstance locates an instance's container id.
+	byInstance map[InstanceID]int
+	// Version increments when the plan is replaced; the graph cache
+	// uses it for invalidation.
+	Version int
+}
+
+// ContainerOf returns the container id hosting the instance and whether
+// it is present in the plan.
+func (p *PackingPlan) ContainerOf(id InstanceID) (int, bool) {
+	c, ok := p.byInstance[id]
+	return c, ok
+}
+
+// InstanceCount returns the number of packed instances.
+func (p *PackingPlan) InstanceCount() int { return len(p.byInstance) }
+
+// Validate checks internal consistency against the topology: every
+// instance packed exactly once and container resources consistent with
+// the component requests.
+func (p *PackingPlan) Validate(t *Topology) error {
+	want := map[InstanceID]bool{}
+	for _, id := range t.Instances() {
+		want[id] = true
+	}
+	seen := map[InstanceID]bool{}
+	for _, c := range p.Containers {
+		var cpu float64
+		var ram int
+		for _, id := range c.Instances {
+			if !want[id] {
+				return fmt.Errorf("packing: unknown instance %s in container %d", id, c.ID)
+			}
+			if seen[id] {
+				return fmt.Errorf("packing: instance %s packed twice", id)
+			}
+			seen[id] = true
+			res := t.Component(id.Component).Resources
+			cpu += res.CPUCores
+			ram += res.RAMMB
+		}
+		if cpu != c.CPUCores || ram != c.RAMMB {
+			return fmt.Errorf("packing: container %d resources %.2f cores/%d MB, want %.2f/%d", c.ID, c.CPUCores, c.RAMMB, cpu, ram)
+		}
+	}
+	if len(seen) != len(want) {
+		return fmt.Errorf("packing: %d instances packed, topology has %d", len(seen), len(want))
+	}
+	return nil
+}
+
+// RoundRobinPack distributes instances across numContainers containers
+// the way Heron's round-robin packing algorithm does: instances are
+// enumerated component by component and dealt to containers in turn.
+// It is the packing used throughout the paper's evaluation.
+func RoundRobinPack(t *Topology, numContainers int) (*PackingPlan, error) {
+	if numContainers < 1 {
+		return nil, fmt.Errorf("packing: need at least 1 container, got %d", numContainers)
+	}
+	instances := t.Instances()
+	if numContainers > len(instances) {
+		numContainers = len(instances)
+	}
+	plan := &PackingPlan{
+		Topology:   t.Name(),
+		Containers: make([]Container, numContainers),
+		byInstance: map[InstanceID]int{},
+		Version:    1,
+	}
+	for i := range plan.Containers {
+		plan.Containers[i].ID = i
+	}
+	for i, id := range instances {
+		c := &plan.Containers[i%numContainers]
+		c.Instances = append(c.Instances, id)
+		res := t.Component(id.Component).Resources
+		c.CPUCores += res.CPUCores
+		c.RAMMB += res.RAMMB
+		plan.byInstance[id] = c.ID
+	}
+	return plan, nil
+}
+
+// FirstFitDecreasingPack packs instances into the fewest containers
+// subject to per-container resource limits, ordering instances by CPU
+// request descending. It provides an alternative scheduler whose plans
+// Caladrius can evaluate against round-robin (the paper's "improved
+// scheduler selection" use case).
+func FirstFitDecreasingPack(t *Topology, maxCPUCores float64, maxRAMMB int) (*PackingPlan, error) {
+	if maxCPUCores <= 0 || maxRAMMB <= 0 {
+		return nil, fmt.Errorf("packing: non-positive container limits %.2f cores/%d MB", maxCPUCores, maxRAMMB)
+	}
+	instances := t.Instances()
+	for _, id := range instances {
+		res := t.Component(id.Component).Resources
+		if res.CPUCores > maxCPUCores || res.RAMMB > maxRAMMB {
+			return nil, fmt.Errorf("packing: instance %s request %.2f cores/%d MB exceeds container limit", id, res.CPUCores, res.RAMMB)
+		}
+	}
+	sorted := append([]InstanceID(nil), instances...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		ri := t.Component(sorted[i].Component).Resources
+		rj := t.Component(sorted[j].Component).Resources
+		if ri.CPUCores != rj.CPUCores {
+			return ri.CPUCores > rj.CPUCores
+		}
+		return ri.RAMMB > rj.RAMMB
+	})
+	plan := &PackingPlan{Topology: t.Name(), byInstance: map[InstanceID]int{}, Version: 1}
+	for _, id := range sorted {
+		res := t.Component(id.Component).Resources
+		placed := false
+		for i := range plan.Containers {
+			c := &plan.Containers[i]
+			if c.CPUCores+res.CPUCores <= maxCPUCores && c.RAMMB+res.RAMMB <= maxRAMMB {
+				c.Instances = append(c.Instances, id)
+				c.CPUCores += res.CPUCores
+				c.RAMMB += res.RAMMB
+				plan.byInstance[id] = c.ID
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			c := Container{ID: len(plan.Containers), Instances: []InstanceID{id}, CPUCores: res.CPUCores, RAMMB: res.RAMMB}
+			plan.Containers = append(plan.Containers, c)
+			plan.byInstance[id] = c.ID
+		}
+	}
+	return plan, nil
+}

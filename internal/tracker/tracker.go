@@ -1,0 +1,228 @@
+// Package tracker implements the topology metadata service Caladrius
+// reads topologies from — the stand-in for the Heron Tracker. It keeps
+// the logical topology, the current packing plan and the last-update
+// timestamp for every registered topology, bumps the packing-plan
+// version on updates (which invalidates Caladrius' graph cache), and
+// exposes the same information over a small REST API.
+package tracker
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"caladrius/internal/topology"
+)
+
+// Errors returned by the tracker.
+var (
+	ErrNotFound = errors.New("tracker: topology not found")
+	ErrExists   = errors.New("tracker: topology already registered")
+)
+
+// Info is everything the tracker knows about one topology.
+type Info struct {
+	Topology  *topology.Topology
+	Plan      *topology.PackingPlan
+	UpdatedAt time.Time
+}
+
+// Tracker is a concurrency-safe topology registry.
+type Tracker struct {
+	mu         sync.RWMutex
+	topologies map[string]*Info
+	now        func() time.Time
+}
+
+// New creates an empty tracker. now defaults to time.Now and is
+// injectable for tests.
+func New(now func() time.Time) *Tracker {
+	if now == nil {
+		now = time.Now
+	}
+	return &Tracker{topologies: map[string]*Info{}, now: now}
+}
+
+// Register adds a new topology with its packing plan.
+func (tr *Tracker) Register(t *topology.Topology, plan *topology.PackingPlan) error {
+	if t == nil || plan == nil {
+		return errors.New("tracker: nil topology or plan")
+	}
+	if err := plan.Validate(t); err != nil {
+		return err
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if _, dup := tr.topologies[t.Name()]; dup {
+		return fmt.Errorf("%w: %q", ErrExists, t.Name())
+	}
+	tr.topologies[t.Name()] = &Info{Topology: t, Plan: plan, UpdatedAt: tr.now()}
+	return nil
+}
+
+// Update replaces a topology's definition and plan (e.g. after a
+// `heron update`), bumping the plan version past the previous one so
+// caches invalidate.
+func (tr *Tracker) Update(t *topology.Topology, plan *topology.PackingPlan) error {
+	if t == nil || plan == nil {
+		return errors.New("tracker: nil topology or plan")
+	}
+	if err := plan.Validate(t); err != nil {
+		return err
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	prev, ok := tr.topologies[t.Name()]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, t.Name())
+	}
+	if plan.Version <= prev.Plan.Version {
+		plan.Version = prev.Plan.Version + 1
+	}
+	tr.topologies[t.Name()] = &Info{Topology: t, Plan: plan, UpdatedAt: tr.now()}
+	return nil
+}
+
+// Remove deletes a topology.
+func (tr *Tracker) Remove(name string) error {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if _, ok := tr.topologies[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	delete(tr.topologies, name)
+	return nil
+}
+
+// Get returns the info for one topology.
+func (tr *Tracker) Get(name string) (Info, error) {
+	tr.mu.RLock()
+	defer tr.mu.RUnlock()
+	info, ok := tr.topologies[name]
+	if !ok {
+		return Info{}, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return *info, nil
+}
+
+// Names lists registered topology names, sorted.
+func (tr *Tracker) Names() []string {
+	tr.mu.RLock()
+	defer tr.mu.RUnlock()
+	out := make([]string, 0, len(tr.topologies))
+	for n := range tr.topologies {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// --- REST API ----------------------------------------------------------
+
+// componentJSON is the wire form of a component.
+type componentJSON struct {
+	Name        string  `json:"name"`
+	Kind        string  `json:"kind"`
+	Parallelism int     `json:"parallelism"`
+	CPUCores    float64 `json:"cpu_cores"`
+	RAMMB       int     `json:"ram_mb"`
+}
+
+type streamJSON struct {
+	Name      string   `json:"name"`
+	From      string   `json:"from"`
+	To        string   `json:"to"`
+	Grouping  string   `json:"grouping"`
+	KeyFields []string `json:"key_fields,omitempty"`
+}
+
+type containerJSON struct {
+	ID        int      `json:"id"`
+	Instances []string `json:"instances"`
+	CPUCores  float64  `json:"cpu_cores"`
+	RAMMB     int      `json:"ram_mb"`
+}
+
+type topologyJSON struct {
+	Name        string          `json:"name"`
+	UpdatedAt   time.Time       `json:"updated_at"`
+	PlanVersion int             `json:"plan_version"`
+	Components  []componentJSON `json:"components"`
+	Streams     []streamJSON    `json:"streams"`
+	Containers  []containerJSON `json:"containers"`
+}
+
+func infoJSON(info Info) topologyJSON {
+	out := topologyJSON{
+		Name:        info.Topology.Name(),
+		UpdatedAt:   info.UpdatedAt,
+		PlanVersion: info.Plan.Version,
+	}
+	for _, c := range info.Topology.Components() {
+		out.Components = append(out.Components, componentJSON{
+			Name:        c.Name,
+			Kind:        c.Kind.String(),
+			Parallelism: c.Parallelism,
+			CPUCores:    c.Resources.CPUCores,
+			RAMMB:       c.Resources.RAMMB,
+		})
+	}
+	for _, s := range info.Topology.Streams() {
+		out.Streams = append(out.Streams, streamJSON{
+			Name: s.Name, From: s.From, To: s.To,
+			Grouping: string(s.Grouping), KeyFields: s.KeyFields,
+		})
+	}
+	for _, c := range info.Plan.Containers {
+		cj := containerJSON{ID: c.ID, CPUCores: c.CPUCores, RAMMB: c.RAMMB}
+		for _, id := range c.Instances {
+			cj.Instances = append(cj.Instances, id.String())
+		}
+		out.Containers = append(out.Containers, cj)
+	}
+	return out
+}
+
+// Handler returns the tracker's REST API:
+//
+//	GET /topologies            → {"topologies": ["name", ...]}
+//	GET /topologies/{name}     → full logical + physical description
+func (tr *Tracker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/topologies", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"topologies": tr.Names()})
+	})
+	mux.HandleFunc("/topologies/", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		name := strings.TrimPrefix(r.URL.Path, "/topologies/")
+		if name == "" || strings.Contains(name, "/") {
+			http.Error(w, "bad topology name", http.StatusBadRequest)
+			return
+		}
+		info, err := tr.Get(name)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, http.StatusOK, infoJSON(info))
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,176 @@
+package tracker
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"caladrius/internal/topology"
+)
+
+func testTopology(t *testing.T, splitterP int) (*topology.Topology, *topology.PackingPlan) {
+	t.Helper()
+	top, err := topology.NewBuilder("word-count").
+		AddSpout("spout", 2).
+		AddBolt("splitter", splitterP).
+		Connect("spout", "splitter", topology.ShuffleGrouping).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := topology.RoundRobinPack(top, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return top, plan
+}
+
+func TestRegisterGetRemove(t *testing.T) {
+	now := time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)
+	tr := New(func() time.Time { return now })
+	top, plan := testTopology(t, 2)
+	if err := tr.Register(top, plan); err != nil {
+		t.Fatal(err)
+	}
+	info, err := tr.Get("word-count")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Topology != top || info.Plan != plan || !info.UpdatedAt.Equal(now) {
+		t.Errorf("info = %+v", info)
+	}
+	if err := tr.Register(top, plan); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate register: %v", err)
+	}
+	if got := tr.Names(); len(got) != 1 || got[0] != "word-count" {
+		t.Errorf("names = %v", got)
+	}
+	if err := tr.Remove("word-count"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Get("word-count"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("get after remove: %v", err)
+	}
+	if err := tr.Remove("word-count"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double remove: %v", err)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	tr := New(nil)
+	if err := tr.Register(nil, nil); err == nil {
+		t.Error("nil register accepted")
+	}
+	top, _ := testTopology(t, 2)
+	other, plan := testTopology(t, 3)
+	_ = other
+	if err := tr.Register(top, plan); err == nil {
+		t.Error("mismatched plan accepted")
+	}
+}
+
+func TestUpdateBumpsVersion(t *testing.T) {
+	tr := New(nil)
+	top, plan := testTopology(t, 2)
+	if err := tr.Register(top, plan); err != nil {
+		t.Fatal(err)
+	}
+	v1 := plan.Version
+	scaled, err := top.WithParallelism(map[string]int{"splitter": 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	newPlan, err := topology.RoundRobinPack(scaled, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Update(scaled, newPlan); err != nil {
+		t.Fatal(err)
+	}
+	info, err := tr.Get("word-count")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Plan.Version <= v1 {
+		t.Errorf("version %d not bumped past %d", info.Plan.Version, v1)
+	}
+	if info.Topology.Component("splitter").Parallelism != 4 {
+		t.Error("topology not replaced")
+	}
+	// Update of unknown topology fails.
+	ghost, gp := testTopology(t, 2)
+	if err := tr.Remove("word-count"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Update(ghost, gp); !errors.Is(err, ErrNotFound) {
+		t.Errorf("update missing: %v", err)
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	tr := New(nil)
+	top, plan := testTopology(t, 2)
+	if err := tr.Register(top, plan); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(tr.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/topologies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list struct {
+		Topologies []string `json:"topologies"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Topologies) != 1 || list.Topologies[0] != "word-count" {
+		t.Errorf("list = %+v", list)
+	}
+
+	resp2, err := http.Get(srv.URL + "/topologies/word-count")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var tj topologyJSON
+	if err := json.NewDecoder(resp2.Body).Decode(&tj); err != nil {
+		t.Fatal(err)
+	}
+	if tj.Name != "word-count" || len(tj.Components) != 2 || len(tj.Streams) != 1 || len(tj.Containers) != 2 {
+		t.Errorf("topology json = %+v", tj)
+	}
+	if tj.Components[0].Kind != "spout" || tj.Components[0].Parallelism != 2 {
+		t.Errorf("component json = %+v", tj.Components[0])
+	}
+
+	// Errors.
+	for path, wantStatus := range map[string]int{
+		"/topologies/ghost":          http.StatusNotFound,
+		"/topologies/bad/extra/path": http.StatusBadRequest,
+	} {
+		r, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != wantStatus {
+			t.Errorf("%s status = %d, want %d", path, r.StatusCode, wantStatus)
+		}
+	}
+	// Wrong method.
+	r, err := http.Post(srv.URL+"/topologies", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST status = %d", r.StatusCode)
+	}
+}

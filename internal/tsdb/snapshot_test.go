@@ -1,0 +1,155 @@
+package tsdb
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func populated(t *testing.T) *DB {
+	t.Helper()
+	db := New(0)
+	for i := 0; i < 30; i++ {
+		db.Append("execute-count", Labels{"component": "splitter", "instance": "0"}, minuteAt(i), float64(i*10))
+		db.Append("execute-count", Labels{"component": "splitter", "instance": "1"}, minuteAt(i), float64(i*11))
+		db.Append("cpu-load", Labels{"component": "counter"}, minuteAt(i), 0.5+float64(i)/100)
+	}
+	return db
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	db := populated(t)
+	var buf bytes.Buffer
+	if err := db.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.TotalPoints() != db.TotalPoints() {
+		t.Fatalf("points = %d, want %d", back.TotalPoints(), db.TotalPoints())
+	}
+	orig, err := db.Query("execute-count", nil, minuteAt(0), minuteAt(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.Query("execute-count", nil, minuteAt(0), minuteAt(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig, got) {
+		t.Error("round-tripped series differ")
+	}
+	if !reflect.DeepEqual(db.Metrics(), back.Metrics()) {
+		t.Errorf("metrics = %v vs %v", back.Metrics(), db.Metrics())
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	db := populated(t)
+	var a, b bytes.Buffer
+	if err := db.WriteSnapshot(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.WriteSnapshot(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("snapshots of the same DB differ")
+	}
+}
+
+func TestSnapshotPreservesRetention(t *testing.T) {
+	db := New(42 * time.Minute)
+	db.Append("m", nil, minuteAt(0), 1)
+	var buf bytes.Buffer
+	if err := db.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.retention != 42*time.Minute {
+		t.Errorf("retention = %s", back.retention)
+	}
+}
+
+func TestSnapshotErrors(t *testing.T) {
+	cases := []string{
+		"",                                      // empty
+		"not json\n",                            // garbage
+		`{"format":"other","version":1}` + "\n", // wrong format
+		`{"format":"caladrius-tsdb","version":9}` + "\n",                   // wrong version
+		`{"format":"caladrius-tsdb","version":1,"series":2}` + "\n" + `{}`, // truncated + empty metric
+	}
+	for _, src := range cases {
+		if _, err := ReadSnapshot(strings.NewReader(src)); err == nil {
+			t.Errorf("snapshot %q accepted", src)
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	db := populated(t)
+	path := filepath.Join(t.TempDir(), "metrics.tsdb")
+	if err := db.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.TotalPoints() != db.TotalPoints() {
+		t.Errorf("points = %d", back.TotalPoints())
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestQuickSnapshotRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := New(0)
+		metrics := []string{"a", "b", "metric with spaces", "ünïcode"}
+		for i := 0; i < 100; i++ {
+			labels := Labels{}
+			if r.Intn(2) == 0 {
+				labels["instance"] = string(rune('0' + r.Intn(5)))
+			}
+			if r.Intn(3) == 0 {
+				labels["weird key"] = `va"lue`
+			}
+			db.Append(metrics[r.Intn(len(metrics))], labels, t0.Add(time.Duration(r.Intn(10000))*time.Second), r.NormFloat64()*1e6)
+		}
+		var buf bytes.Buffer
+		if err := db.WriteSnapshot(&buf); err != nil {
+			return false
+		}
+		back, err := ReadSnapshot(&buf)
+		if err != nil {
+			return false
+		}
+		if back.TotalPoints() != db.TotalPoints() {
+			return false
+		}
+		for _, m := range db.Metrics() {
+			a, err1 := db.Query(m, nil, t0, t0.Add(100000*time.Second))
+			b, err2 := back.Query(m, nil, t0, t0.Add(100000*time.Second))
+			if err1 != nil || err2 != nil || !reflect.DeepEqual(a, b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

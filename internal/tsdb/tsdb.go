@@ -1,0 +1,408 @@
+// Package tsdb implements the in-memory time-series metrics database
+// Caladrius reads topology metrics from. It stands in for Twitter's
+// Cuckoo service and the Heron MetricsCache described in the paper:
+// series are identified by a metric name plus a label set (topology,
+// component, instance, container, ...), points are stored at arbitrary
+// timestamps, and queries support label matching, time ranges,
+// cross-series aggregation and downsampling into fixed-width buckets
+// (the paper's models consume per-minute series).
+//
+// The store is safe for concurrent use.
+package tsdb
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrNoData is returned by queries that match no points.
+var ErrNoData = errors.New("tsdb: no data points match the query")
+
+// Labels is a set of key/value identifiers attached to a series.
+// Conventional keys used throughout Caladrius:
+//
+//	topology, component, instance, container, stream
+type Labels map[string]string
+
+// canonical renders labels in deterministic order for use as a map key.
+func (l Labels) canonical() string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(l[k])
+	}
+	return b.String()
+}
+
+// Clone returns an independent copy of l.
+func (l Labels) Clone() Labels {
+	c := make(Labels, len(l))
+	for k, v := range l {
+		c[k] = v
+	}
+	return c
+}
+
+// Matches reports whether every key in sel is present in l with an
+// equal value. An empty selector matches everything.
+func (l Labels) Matches(sel Labels) bool {
+	for k, v := range sel {
+		if l[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Point is a single observation.
+type Point struct {
+	T time.Time
+	V float64
+}
+
+// Series is an ordered sequence of points with its identity.
+type Series struct {
+	Metric string
+	Labels Labels
+	Points []Point
+}
+
+type seriesData struct {
+	labels Labels
+	points []Point // sorted by T ascending
+}
+
+// DB is the in-memory time-series store.
+type DB struct {
+	mu        sync.RWMutex
+	metrics   map[string]map[string]*seriesData // metric -> canonical labels -> data
+	retention time.Duration                     // 0 = keep forever
+}
+
+// New creates an empty store. retention ≤ 0 keeps points forever;
+// otherwise GC (called implicitly on writes) drops points older than
+// retention relative to the newest point in their series.
+func New(retention time.Duration) *DB {
+	return &DB{
+		metrics:   make(map[string]map[string]*seriesData),
+		retention: retention,
+	}
+}
+
+// Append records one observation.
+func (db *DB) Append(metric string, labels Labels, t time.Time, v float64) {
+	if metric == "" {
+		panic("tsdb: empty metric name")
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	bySeries, ok := db.metrics[metric]
+	if !ok {
+		bySeries = make(map[string]*seriesData)
+		db.metrics[metric] = bySeries
+	}
+	key := labels.canonical()
+	sd, ok := bySeries[key]
+	if !ok {
+		sd = &seriesData{labels: labels.Clone()}
+		bySeries[key] = sd
+	}
+	n := len(sd.points)
+	if n > 0 && t.Before(sd.points[n-1].T) {
+		// Out-of-order write: insert at the right place (rare path).
+		idx := sort.Search(n, func(i int) bool { return sd.points[i].T.After(t) })
+		sd.points = append(sd.points, Point{})
+		copy(sd.points[idx+1:], sd.points[idx:])
+		sd.points[idx] = Point{T: t, V: v}
+	} else {
+		sd.points = append(sd.points, Point{T: t, V: v})
+	}
+	if db.retention > 0 {
+		cutoff := sd.points[len(sd.points)-1].T.Add(-db.retention)
+		firstKeep := sort.Search(len(sd.points), func(i int) bool { return !sd.points[i].T.Before(cutoff) })
+		if firstKeep > 0 {
+			sd.points = append(sd.points[:0], sd.points[firstKeep:]...)
+		}
+	}
+}
+
+// AppendSeries bulk-appends a slice of points to one series.
+func (db *DB) AppendSeries(metric string, labels Labels, pts []Point) {
+	for _, p := range pts {
+		db.Append(metric, labels, p.T, p.V)
+	}
+}
+
+// Metrics returns the sorted list of metric names present.
+func (db *DB) Metrics() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.metrics))
+	for m := range db.metrics {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SeriesCount returns the number of distinct series stored for metric.
+func (db *DB) SeriesCount(metric string) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.metrics[metric])
+}
+
+// Query returns all series of the metric matching the selector,
+// restricted to points with start ≤ t < end. Series and their points
+// are copies; callers may mutate them freely. Series are returned in
+// deterministic (canonical label) order.
+func (db *DB) Query(metric string, sel Labels, start, end time.Time) ([]Series, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	bySeries := db.metrics[metric]
+	if len(bySeries) == 0 {
+		return nil, fmt.Errorf("%w: metric %q", ErrNoData, metric)
+	}
+	keys := make([]string, 0, len(bySeries))
+	for k, sd := range bySeries {
+		if sd.labels.Matches(sel) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var out []Series
+	for _, k := range keys {
+		sd := bySeries[k]
+		lo := sort.Search(len(sd.points), func(i int) bool { return !sd.points[i].T.Before(start) })
+		hi := sort.Search(len(sd.points), func(i int) bool { return !sd.points[i].T.Before(end) })
+		if lo >= hi {
+			continue
+		}
+		s := Series{
+			Metric: metric,
+			Labels: sd.labels.Clone(),
+			Points: append([]Point(nil), sd.points[lo:hi]...),
+		}
+		out = append(out, s)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: metric %q selector %v in [%s, %s)", ErrNoData, metric, sel, start, end)
+	}
+	return out, nil
+}
+
+// Agg names a cross-point aggregation function.
+type Agg string
+
+// Supported aggregations.
+const (
+	AggSum    Agg = "sum"
+	AggMean   Agg = "mean"
+	AggMin    Agg = "min"
+	AggMax    Agg = "max"
+	AggCount  Agg = "count"
+	AggMedian Agg = "median"
+	AggLast   Agg = "last"
+)
+
+func aggregate(agg Agg, vs []float64) (float64, error) {
+	if len(vs) == 0 {
+		return 0, ErrNoData
+	}
+	switch agg {
+	case AggSum:
+		var s float64
+		for _, v := range vs {
+			s += v
+		}
+		return s, nil
+	case AggMean:
+		var s float64
+		for _, v := range vs {
+			s += v
+		}
+		return s / float64(len(vs)), nil
+	case AggMin:
+		m := vs[0]
+		for _, v := range vs[1:] {
+			if v < m {
+				m = v
+			}
+		}
+		return m, nil
+	case AggMax:
+		m := vs[0]
+		for _, v := range vs[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		return m, nil
+	case AggCount:
+		return float64(len(vs)), nil
+	case AggMedian:
+		cp := append([]float64(nil), vs...)
+		sort.Float64s(cp)
+		n := len(cp)
+		if n%2 == 1 {
+			return cp[n/2], nil
+		}
+		return (cp[n/2-1] + cp[n/2]) / 2, nil
+	case AggLast:
+		return vs[len(vs)-1], nil
+	default:
+		return 0, fmt.Errorf("tsdb: unknown aggregation %q", agg)
+	}
+}
+
+// Aggregate reduces every matching point in the range to one value.
+func (db *DB) Aggregate(metric string, sel Labels, start, end time.Time, agg Agg) (float64, error) {
+	series, err := db.Query(metric, sel, start, end)
+	if err != nil {
+		return 0, err
+	}
+	var vs []float64
+	for _, s := range series {
+		for _, p := range s.Points {
+			vs = append(vs, p.V)
+		}
+	}
+	return aggregate(agg, vs)
+}
+
+// Downsample buckets each matching series into fixed-width windows
+// aligned to the Unix epoch and reduces each bucket with bucketAgg,
+// then merges series point-wise with mergeAgg (use AggSum to combine
+// instances into a component). Buckets with no points are omitted.
+// The returned series has one point per non-empty bucket, stamped at
+// the bucket start, in ascending time order.
+func (db *DB) Downsample(metric string, sel Labels, start, end time.Time, step time.Duration, bucketAgg, mergeAgg Agg) (Series, error) {
+	if step <= 0 {
+		return Series{}, fmt.Errorf("tsdb: non-positive step %s", step)
+	}
+	series, err := db.Query(metric, sel, start, end)
+	if err != nil {
+		return Series{}, err
+	}
+	type bucketKey int64
+	perSeries := make([]map[bucketKey]float64, len(series))
+	for i, s := range series {
+		buckets := make(map[bucketKey][]float64)
+		for _, p := range s.Points {
+			b := bucketKey(p.T.UnixNano() / int64(step))
+			buckets[b] = append(buckets[b], p.V)
+		}
+		reduced := make(map[bucketKey]float64, len(buckets))
+		for b, vs := range buckets {
+			v, err := aggregate(bucketAgg, vs)
+			if err != nil {
+				return Series{}, err
+			}
+			reduced[b] = v
+		}
+		perSeries[i] = reduced
+	}
+	merged := make(map[bucketKey][]float64)
+	for _, m := range perSeries {
+		for b, v := range m {
+			merged[b] = append(merged[b], v)
+		}
+	}
+	keys := make([]bucketKey, 0, len(merged))
+	for b := range merged {
+		keys = append(keys, b)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := Series{Metric: metric, Labels: sel.Clone()}
+	for _, b := range keys {
+		v, err := aggregate(mergeAgg, merged[b])
+		if err != nil {
+			return Series{}, err
+		}
+		out.Points = append(out.Points, Point{T: time.Unix(0, int64(b)*int64(step)).UTC(), V: v})
+	}
+	return out, nil
+}
+
+// Latest returns the most recent point across all series matching the
+// selector.
+func (db *DB) Latest(metric string, sel Labels) (Point, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	best := Point{T: time.Time{}, V: math.NaN()}
+	found := false
+	for _, sd := range db.metrics[metric] {
+		if !sd.labels.Matches(sel) || len(sd.points) == 0 {
+			continue
+		}
+		p := sd.points[len(sd.points)-1]
+		if !found || p.T.After(best.T) {
+			best = p
+			found = true
+		}
+	}
+	if !found {
+		return Point{}, fmt.Errorf("%w: metric %q selector %v", ErrNoData, metric, sel)
+	}
+	return best, nil
+}
+
+// LabelValues returns the sorted distinct values of the given label key
+// across all series of the metric.
+func (db *DB) LabelValues(metric, key string) []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	set := map[string]struct{}{}
+	for _, sd := range db.metrics[metric] {
+		if v, ok := sd.labels[key]; ok {
+			set[v] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DropMetric removes all series of a metric. It reports whether the
+// metric existed.
+func (db *DB) DropMetric(metric string) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	_, ok := db.metrics[metric]
+	delete(db.metrics, metric)
+	return ok
+}
+
+// TotalPoints returns the total number of stored points, for tests and
+// capacity monitoring.
+func (db *DB) TotalPoints() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var n int
+	for _, bySeries := range db.metrics {
+		for _, sd := range bySeries {
+			n += len(sd.points)
+		}
+	}
+	return n
+}

@@ -1,0 +1,342 @@
+package tsdb
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)
+
+func minuteAt(i int) time.Time { return t0.Add(time.Duration(i) * time.Minute) }
+
+func TestAppendAndQuery(t *testing.T) {
+	db := New(0)
+	labels := Labels{"topology": "wc", "component": "splitter", "instance": "0"}
+	for i := 0; i < 10; i++ {
+		db.Append("emit-count", labels, minuteAt(i), float64(i*100))
+	}
+	got, err := db.Query("emit-count", Labels{"component": "splitter"}, minuteAt(2), minuteAt(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("series = %d, want 1", len(got))
+	}
+	pts := got[0].Points
+	if len(pts) != 3 || pts[0].V != 200 || pts[2].V != 400 {
+		t.Errorf("points = %+v", pts)
+	}
+	// End bound is exclusive.
+	for _, p := range pts {
+		if !p.T.Before(minuteAt(5)) || p.T.Before(minuteAt(2)) {
+			t.Errorf("point %v outside [2,5)", p.T)
+		}
+	}
+}
+
+func TestQueryCopiesAreIndependent(t *testing.T) {
+	db := New(0)
+	l := Labels{"instance": "0"}
+	db.Append("m", l, minuteAt(0), 1)
+	got, err := db.Query("m", nil, minuteAt(0), minuteAt(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got[0].Points[0].V = 99
+	got[0].Labels["instance"] = "tampered"
+	again, err := db.Query("m", nil, minuteAt(0), minuteAt(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0].Points[0].V != 1 || again[0].Labels["instance"] != "0" {
+		t.Error("query results alias internal state")
+	}
+}
+
+func TestQueryNoData(t *testing.T) {
+	db := New(0)
+	if _, err := db.Query("missing", nil, minuteAt(0), minuteAt(1)); !errors.Is(err, ErrNoData) {
+		t.Errorf("missing metric: %v", err)
+	}
+	db.Append("m", Labels{"a": "1"}, minuteAt(0), 1)
+	if _, err := db.Query("m", Labels{"a": "2"}, minuteAt(0), minuteAt(1)); !errors.Is(err, ErrNoData) {
+		t.Errorf("non-matching selector: %v", err)
+	}
+	if _, err := db.Query("m", nil, minuteAt(5), minuteAt(6)); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty range: %v", err)
+	}
+}
+
+func TestOutOfOrderAppend(t *testing.T) {
+	db := New(0)
+	l := Labels{"i": "0"}
+	db.Append("m", l, minuteAt(5), 5)
+	db.Append("m", l, minuteAt(1), 1)
+	db.Append("m", l, minuteAt(3), 3)
+	got, err := db.Query("m", nil, minuteAt(0), minuteAt(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := got[0].Points
+	for i := 1; i < len(pts); i++ {
+		if pts[i].T.Before(pts[i-1].T) {
+			t.Fatalf("points not sorted: %+v", pts)
+		}
+	}
+	if pts[0].V != 1 || pts[1].V != 3 || pts[2].V != 5 {
+		t.Errorf("points = %+v", pts)
+	}
+}
+
+func TestRetention(t *testing.T) {
+	db := New(10 * time.Minute)
+	l := Labels{"i": "0"}
+	for i := 0; i < 100; i++ {
+		db.Append("m", l, minuteAt(i), float64(i))
+	}
+	got, err := db.Query("m", nil, minuteAt(0), minuteAt(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := got[0].Points
+	if len(pts) != 11 { // inclusive of the cutoff minute
+		t.Fatalf("retained %d points, want 11: %+v", len(pts), pts)
+	}
+	if pts[0].V != 89 {
+		t.Errorf("oldest retained = %g, want 89", pts[0].V)
+	}
+}
+
+func TestAggregations(t *testing.T) {
+	db := New(0)
+	for i, v := range []float64{1, 2, 3, 4, 5} {
+		db.Append("m", Labels{"i": "0"}, minuteAt(i), v)
+	}
+	cases := []struct {
+		agg  Agg
+		want float64
+	}{
+		{AggSum, 15}, {AggMean, 3}, {AggMin, 1}, {AggMax, 5},
+		{AggCount, 5}, {AggMedian, 3}, {AggLast, 5},
+	}
+	for _, c := range cases {
+		got, err := db.Aggregate("m", nil, minuteAt(0), minuteAt(10), c.agg)
+		if err != nil {
+			t.Fatalf("%s: %v", c.agg, err)
+		}
+		if got != c.want {
+			t.Errorf("%s = %g, want %g", c.agg, got, c.want)
+		}
+	}
+	if _, err := db.Aggregate("m", nil, minuteAt(0), minuteAt(10), Agg("bogus")); err == nil {
+		t.Error("unknown aggregation accepted")
+	}
+	// Even-length median interpolates.
+	db2 := New(0)
+	for i, v := range []float64{1, 2, 3, 4} {
+		db2.Append("m", Labels{"i": "0"}, minuteAt(i), v)
+	}
+	got, err := db2.Aggregate("m", nil, minuteAt(0), minuteAt(10), AggMedian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2.5 {
+		t.Errorf("even median = %g, want 2.5", got)
+	}
+}
+
+func TestDownsampleMergesInstances(t *testing.T) {
+	db := New(0)
+	// Two instances emitting every 20s; bucket to 1 minute, sum within
+	// a bucket per instance, then sum across instances.
+	for i := 0; i < 6; i++ {
+		ts := t0.Add(time.Duration(i*20) * time.Second)
+		db.Append("emit-count", Labels{"component": "splitter", "instance": "0"}, ts, 10)
+		db.Append("emit-count", Labels{"component": "splitter", "instance": "1"}, ts, 20)
+	}
+	s, err := db.Downsample("emit-count", Labels{"component": "splitter"}, t0, t0.Add(2*time.Minute), time.Minute, AggSum, AggSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 2 {
+		t.Fatalf("buckets = %d, want 2: %+v", len(s.Points), s.Points)
+	}
+	// Each minute has 3 samples per instance: 3*10 + 3*20 = 90.
+	for _, p := range s.Points {
+		if p.V != 90 {
+			t.Errorf("bucket %v = %g, want 90", p.T, p.V)
+		}
+	}
+}
+
+func TestDownsampleMeanMerge(t *testing.T) {
+	db := New(0)
+	db.Append("cpu", Labels{"instance": "0"}, minuteAt(0), 0.5)
+	db.Append("cpu", Labels{"instance": "1"}, minuteAt(0), 1.5)
+	s, err := db.Downsample("cpu", nil, minuteAt(0), minuteAt(1), time.Minute, AggMean, AggMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 1 || s.Points[0].V != 1.0 {
+		t.Errorf("points = %+v, want single 1.0", s.Points)
+	}
+}
+
+func TestDownsampleRejectsBadStep(t *testing.T) {
+	db := New(0)
+	db.Append("m", nil, minuteAt(0), 1)
+	if _, err := db.Downsample("m", nil, minuteAt(0), minuteAt(1), 0, AggSum, AggSum); err == nil {
+		t.Error("zero step accepted")
+	}
+}
+
+func TestLatest(t *testing.T) {
+	db := New(0)
+	db.Append("m", Labels{"i": "0"}, minuteAt(1), 10)
+	db.Append("m", Labels{"i": "1"}, minuteAt(3), 30)
+	p, err := db.Latest("m", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.V != 30 || !p.T.Equal(minuteAt(3)) {
+		t.Errorf("latest = %+v", p)
+	}
+	if _, err := db.Latest("none", nil); !errors.Is(err, ErrNoData) {
+		t.Errorf("latest of missing metric: %v", err)
+	}
+}
+
+func TestLabelValuesAndMetrics(t *testing.T) {
+	db := New(0)
+	db.Append("m", Labels{"component": "b"}, minuteAt(0), 1)
+	db.Append("m", Labels{"component": "a"}, minuteAt(0), 1)
+	db.Append("n", Labels{"component": "c"}, minuteAt(0), 1)
+	vals := db.LabelValues("m", "component")
+	if len(vals) != 2 || vals[0] != "a" || vals[1] != "b" {
+		t.Errorf("values = %v", vals)
+	}
+	ms := db.Metrics()
+	if len(ms) != 2 || ms[0] != "m" || ms[1] != "n" {
+		t.Errorf("metrics = %v", ms)
+	}
+	if db.SeriesCount("m") != 2 {
+		t.Errorf("series count = %d", db.SeriesCount("m"))
+	}
+}
+
+func TestDropMetric(t *testing.T) {
+	db := New(0)
+	db.Append("m", nil, minuteAt(0), 1)
+	if !db.DropMetric("m") {
+		t.Error("drop existing returned false")
+	}
+	if db.DropMetric("m") {
+		t.Error("drop missing returned true")
+	}
+	if db.TotalPoints() != 0 {
+		t.Errorf("points remain after drop")
+	}
+}
+
+func TestConcurrentAppendQuery(t *testing.T) {
+	db := New(0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			l := Labels{"instance": string(rune('0' + w))}
+			for i := 0; i < 500; i++ {
+				db.Append("m", l, minuteAt(i), float64(i))
+				if i%50 == 0 {
+					db.Query("m", nil, minuteAt(0), minuteAt(1000)) //nolint:errcheck
+					db.Latest("m", nil)                             //nolint:errcheck
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := db.TotalPoints(); got != 8*500 {
+		t.Errorf("points = %d, want %d", got, 8*500)
+	}
+}
+
+func TestQuickDownsampleSumConservation(t *testing.T) {
+	// Property: downsampling with (sum, sum) conserves the total over
+	// the queried window regardless of step.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := New(0)
+		total := 0.0
+		n := 1 + r.Intn(200)
+		for i := 0; i < n; i++ {
+			v := float64(r.Intn(1000))
+			inst := string(rune('0' + r.Intn(4)))
+			db.Append("m", Labels{"instance": inst}, t0.Add(time.Duration(r.Intn(3600))*time.Second), v)
+			total += v
+		}
+		for _, step := range []time.Duration{time.Minute, 5 * time.Minute, time.Hour} {
+			s, err := db.Downsample("m", nil, t0, t0.Add(2*time.Hour), step, AggSum, AggSum)
+			if err != nil {
+				return false
+			}
+			var sum float64
+			for _, p := range s.Points {
+				sum += p.V
+			}
+			if diff := sum - total; diff > 1e-6 || diff < -1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickQueryOrderedAndBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := New(0)
+		for i := 0; i < 100; i++ {
+			db.Append("m", Labels{"i": "0"}, t0.Add(time.Duration(r.Intn(1000))*time.Second), 1)
+		}
+		start := t0.Add(time.Duration(r.Intn(500)) * time.Second)
+		end := start.Add(time.Duration(1+r.Intn(500)) * time.Second)
+		series, err := db.Query("m", nil, start, end)
+		if errors.Is(err, ErrNoData) {
+			return true
+		}
+		if err != nil {
+			return false
+		}
+		prev := time.Time{}
+		for _, p := range series[0].Points {
+			if p.T.Before(start) || !p.T.Before(end) {
+				return false
+			}
+			if p.T.Before(prev) {
+				return false
+			}
+			prev = p.T
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAppendPanicsOnEmptyMetric(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for empty metric name")
+		}
+	}()
+	New(0).Append("", nil, t0, 1)
+}

@@ -1,0 +1,149 @@
+// Package workload provides the synthetic inputs for Caladrius'
+// evaluation: a deterministic text corpus standing in for the paper's
+// use of The Great Gatsby (the spout reads a line as a sentence; the
+// splitter's measured input/output ratio 7.63–7.64 is the book's
+// average sentence length) and parameterised traffic-rate generators
+// (seasonal, trending, spiky, with missing data) used to exercise the
+// traffic-forecast models.
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// GatsbyMeanSentenceLength is the splitter input/output ratio the paper
+// measured for its corpus (Fig. 5). The synthetic corpus targets it.
+const GatsbyMeanSentenceLength = 7.635
+
+// Corpus deterministically generates sentences with a configurable mean
+// length and a Zipf-distributed vocabulary, mimicking natural-language
+// word frequency so fields grouping sees realistic key skew at small
+// parallelism and near-uniform load at Twitter-like volumes.
+type Corpus struct {
+	rng       *rand.Rand
+	zipf      *rand.Zipf
+	vocab     []string
+	meanWords float64
+}
+
+// CorpusOptions configures NewCorpus.
+type CorpusOptions struct {
+	// Seed makes the corpus reproducible. Two corpora with the same
+	// options emit identical sentence streams.
+	Seed int64
+	// VocabularySize is the number of distinct words. Default 6000,
+	// roughly the distinct-word count of The Great Gatsby.
+	VocabularySize int
+	// MeanSentenceLength is the target mean words per sentence.
+	// Default GatsbyMeanSentenceLength.
+	MeanSentenceLength float64
+	// ZipfS is the Zipf exponent (>1). Default 1.1, close to natural
+	// language.
+	ZipfS float64
+}
+
+func (o CorpusOptions) withDefaults() CorpusOptions {
+	if o.VocabularySize <= 0 {
+		o.VocabularySize = 6000
+	}
+	if o.MeanSentenceLength <= 0 {
+		o.MeanSentenceLength = GatsbyMeanSentenceLength
+	}
+	if o.ZipfS <= 1 {
+		o.ZipfS = 1.1
+	}
+	return o
+}
+
+// NewCorpus builds a deterministic corpus.
+func NewCorpus(opts CorpusOptions) *Corpus {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	vocab := make([]string, opts.VocabularySize)
+	for i := range vocab {
+		vocab[i] = syntheticWord(i)
+	}
+	return &Corpus{
+		rng:       rng,
+		zipf:      rand.NewZipf(rng, opts.ZipfS, 1, uint64(opts.VocabularySize-1)),
+		vocab:     vocab,
+		meanWords: opts.MeanSentenceLength,
+	}
+}
+
+// syntheticWord builds a pronounceable word from its vocabulary rank so
+// the corpus needs no embedded text.
+func syntheticWord(rank int) string {
+	consonants := "bcdfghjklmnprstvw"
+	vowels := "aeiou"
+	var b strings.Builder
+	n := rank
+	for {
+		b.WriteByte(consonants[n%len(consonants)])
+		n /= len(consonants)
+		b.WriteByte(vowels[n%len(vowels)])
+		n /= len(vowels)
+		if n == 0 {
+			break
+		}
+	}
+	return b.String()
+}
+
+// Sentence emits the next sentence: whitespace-separated words. The
+// word count is 1 + Poisson(mean−1), giving the configured mean with
+// realistic variance.
+func (c *Corpus) Sentence() string {
+	n := 1 + poisson(c.rng, c.meanWords-1)
+	words := make([]string, n)
+	for i := range words {
+		words[i] = c.vocab[c.zipf.Uint64()]
+	}
+	return strings.Join(words, " ")
+}
+
+// WordsPerSentence returns the exact mean sentence length of the next m
+// sentences without consuming the generator state of the caller's
+// corpus (it uses an identically-seeded clone). Useful for calibrating
+// expected α in tests.
+func MeanSentenceLength(opts CorpusOptions, m int) float64 {
+	c := NewCorpus(opts)
+	var total int
+	for i := 0; i < m; i++ {
+		total += len(strings.Fields(c.Sentence()))
+	}
+	return float64(total) / float64(m)
+}
+
+// Split splits a sentence into words; it is the splitter bolt's logic.
+func Split(sentence string) []string {
+	return strings.Fields(sentence)
+}
+
+// poisson draws a Poisson-distributed integer. It uses Knuth's
+// multiplication method for small λ and a normal approximation above
+// λ = 30, which is ample for sentence lengths.
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 30 {
+		v := lambda + math.Sqrt(lambda)*rng.NormFloat64()
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

@@ -1,0 +1,293 @@
+package yamlite
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseScalars(t *testing.T) {
+	cases := []struct {
+		in   string
+		want any
+	}{
+		{"key: 42", map[string]any{"key": int64(42)}},
+		{"key: -17", map[string]any{"key": int64(-17)}},
+		{"key: 3.5", map[string]any{"key": 3.5}},
+		{"key: 1e6", map[string]any{"key": 1e6}},
+		{"key: true", map[string]any{"key": true}},
+		{"key: False", map[string]any{"key": false}},
+		{"key: null", map[string]any{"key": nil}},
+		{"key: ~", map[string]any{"key": nil}},
+		{"key: hello world", map[string]any{"key": "hello world"}},
+		{"key: 'quoted: string'", map[string]any{"key": "quoted: string"}},
+		{`key: "esc\taped"`, map[string]any{"key": "esc\taped"}},
+		{"key: 0x1F", map[string]any{"key": int64(31)}},
+		{"key: '42'", map[string]any{"key": "42"}},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.in, err)
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Parse(%q) = %#v, want %#v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseNestedMapping(t *testing.T) {
+	src := `
+caladrius:
+  api:
+    port: 8080
+    async: true
+  models:
+    traffic:
+      - name: prophet
+        window_minutes: 1440
+      - name: summary
+`
+	got, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{
+		"caladrius": map[string]any{
+			"api": map[string]any{"port": int64(8080), "async": true},
+			"models": map[string]any{
+				"traffic": []any{
+					map[string]any{"name": "prophet", "window_minutes": int64(1440)},
+					map[string]any{"name": "summary"},
+				},
+			},
+		},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %#v\nwant %#v", got, want)
+	}
+}
+
+func TestParseSequences(t *testing.T) {
+	src := `
+plain:
+  - 1
+  - 2
+  - three
+flow: [1, 2.5, "x", true]
+flowmap: {a: 1, b: [2, 3]}
+nested:
+  -
+    - 1
+    - 2
+  -
+    - 3
+`
+	got, err := ParseMap(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []any{int64(1), int64(2), "three"}; !reflect.DeepEqual(got["plain"], want) {
+		t.Errorf("plain = %#v", got["plain"])
+	}
+	if want := []any{int64(1), 2.5, "x", true}; !reflect.DeepEqual(got["flow"], want) {
+		t.Errorf("flow = %#v", got["flow"])
+	}
+	if want := map[string]any{"a": int64(1), "b": []any{int64(2), int64(3)}}; !reflect.DeepEqual(got["flowmap"], want) {
+		t.Errorf("flowmap = %#v", got["flowmap"])
+	}
+	if want := []any{[]any{int64(1), int64(2)}, []any{int64(3)}}; !reflect.DeepEqual(got["nested"], want) {
+		t.Errorf("nested = %#v", got["nested"])
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `
+# full-line comment
+a: 1 # trailing
+b: 'has # inside' # outside
+`
+	got, err := ParseMap(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["a"] != int64(1) {
+		t.Errorf("a = %#v", got["a"])
+	}
+	if got["b"] != "has # inside" {
+		t.Errorf("b = %#v", got["b"])
+	}
+}
+
+func TestParseEmptyValues(t *testing.T) {
+	src := "a:\nb: 2"
+	got, err := ParseMap(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["a"] != nil {
+		t.Errorf("a = %#v, want nil", got["a"])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"\tkey: 1",             // tab indentation
+		"a: 1\na: 2",           // duplicate key
+		"a: [1, 2",             // unterminated flow
+		"a: {x: 1",             // unterminated flow map
+		"- 1\nnot a seq item",  // mixing
+		"a: 1\n- 2",            // sequence in mapping
+		"---\na: 1\n---\nb: 2", // multi-doc
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestParseErrorLineNumbers(t *testing.T) {
+	_, err := Parse("a: 1\nb: [1,")
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("got %T (%v), want *ParseError", err, err)
+	}
+	if pe.Line != 2 {
+		t.Errorf("line = %d, want 2", pe.Line)
+	}
+	if !strings.Contains(pe.Error(), "line 2") {
+		t.Errorf("message %q should name the line", pe.Error())
+	}
+}
+
+func TestParseMapRejectsSequenceRoot(t *testing.T) {
+	if _, err := ParseMap("- 1\n- 2"); err == nil {
+		t.Fatal("expected error for sequence root")
+	}
+}
+
+func TestParseMapEmptyDocument(t *testing.T) {
+	m, err := ParseMap("   \n# nothing\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 0 {
+		t.Errorf("m = %#v, want empty", m)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	doc := map[string]any{
+		"name":  "word-count",
+		"port":  int64(8080),
+		"ratio": 7.64,
+		"flags": []any{true, false},
+		"nested": map[string]any{
+			"empty_list": []any{},
+			"empty_map":  map[string]any{},
+			"deep":       []any{map[string]any{"k": "v", "n": int64(2)}},
+		},
+		"tricky": "needs: quoting",
+		"numstr": "007",
+	}
+	text := Marshal(doc)
+	back, err := Parse(text)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\ntext:\n%s", err, text)
+	}
+	if !reflect.DeepEqual(back, doc) {
+		t.Errorf("round trip mismatch:\ntext:\n%s\ngot  %#v\nwant %#v", text, back, doc)
+	}
+}
+
+// randomDoc builds a random document from the generator state, bounded
+// in depth so documents stay small.
+func randomDoc(r *rand.Rand, depth int) any {
+	if depth <= 0 {
+		switch r.Intn(5) {
+		case 0:
+			return int64(r.Intn(2000) - 1000)
+		case 1:
+			return float64(r.Intn(100)) + 0.5
+		case 2:
+			return r.Intn(2) == 0
+		case 3:
+			return nil
+		default:
+			letters := []string{"alpha", "beta", "words and spaces", "with: colon", "# hashy", "", "true-ish", "007"}
+			return letters[r.Intn(len(letters))]
+		}
+	}
+	switch r.Intn(3) {
+	case 0:
+		n := r.Intn(4)
+		m := map[string]any{}
+		for i := 0; i < n; i++ {
+			m["k"+string(rune('a'+i))] = randomDoc(r, depth-1)
+		}
+		return m
+	case 1:
+		n := r.Intn(4)
+		s := make([]any, n)
+		for i := range s {
+			s[i] = randomDoc(r, depth-1)
+		}
+		return s
+	default:
+		return randomDoc(r, 0)
+	}
+}
+
+func TestQuickMarshalParseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		doc := map[string]any{"root": randomDoc(r, 3)}
+		back, err := Parse(Marshal(doc))
+		if err != nil {
+			t.Logf("seed %d: parse error %v on\n%s", seed, err, Marshal(doc))
+			return false
+		}
+		if !reflect.DeepEqual(back, doc) {
+			t.Logf("seed %d mismatch:\n%s\ngot %#v\nwant %#v", seed, Marshal(doc), back, doc)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScalarResolutionStability(t *testing.T) {
+	// Property: Marshal of a scalar re-parses to the same typed value.
+	f := func(i int64, fl float64, b bool) bool {
+		for _, v := range []any{i, fl, b, nil} {
+			if f64, ok := v.(float64); ok && (f64 != f64 || f64 > 1e308 || f64 < -1e308) {
+				continue // NaN/Inf not representable
+			}
+			src := "x: " + scalarString(v)
+			m, err := ParseMap(src)
+			if err != nil {
+				return false
+			}
+			got := m["x"]
+			if f64, ok := v.(float64); ok && f64 == float64(int64(f64)) {
+				// Integral floats legitimately re-resolve as ints.
+				if gi, isInt := got.(int64); isInt && float64(gi) == f64 {
+					continue
+				}
+			}
+			if !reflect.DeepEqual(got, v) {
+				t.Logf("src %q got %#v want %#v", src, got, v)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
