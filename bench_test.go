@@ -13,15 +13,23 @@ package caladrius_test
 
 import (
 	"fmt"
+	"io"
+	"log/slog"
+	"net/http/httptest"
 	"sync"
 	"testing"
 	"time"
 
+	"caladrius/internal/api"
+	"caladrius/internal/config"
 	"caladrius/internal/core"
 	"caladrius/internal/experiments"
 	"caladrius/internal/forecast"
 	"caladrius/internal/heron"
+	"caladrius/internal/metrics"
+	"caladrius/internal/telemetry"
 	"caladrius/internal/topology"
+	"caladrius/internal/tracker"
 	"caladrius/internal/tsdb"
 	"caladrius/internal/workload"
 )
@@ -197,6 +205,91 @@ func BenchmarkTSDBDownsample(b *testing.B) {
 		if _, err := db.Downsample("execute-count", tsdb.Labels{"component": "splitter"}, t0, t0.Add(24*time.Hour), time.Minute, tsdb.AggSum, tsdb.AggSum); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkCounterInc measures the telemetry hot path: incrementing a
+// pre-registered counter must not allocate.
+func BenchmarkCounterInc(b *testing.B) {
+	reg := telemetry.NewRegistry()
+	c := reg.Counter("bench_total", telemetry.Labels{"route": "/x"})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkHistogramObserve measures recording one latency sample into
+// a pre-registered histogram.
+func BenchmarkHistogramObserve(b *testing.B) {
+	reg := telemetry.NewRegistry()
+	h := reg.Histogram("bench_seconds", telemetry.DefLatencyBuckets, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.0042)
+	}
+}
+
+// BenchmarkRegistryLookup measures re-resolving an instrument handle
+// through the registry, the path handlers take when they have not
+// cached the handle.
+func BenchmarkRegistryLookup(b *testing.B) {
+	reg := telemetry.NewRegistry()
+	labels := telemetry.Labels{"route": "/x", "class": "2xx"}
+	reg.Counter("bench_total", labels)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reg.Counter("bench_total", labels).Inc()
+	}
+}
+
+// BenchmarkMiddlewareRequest measures the full instrumented request
+// path — route classification, counters, histogram, access log — over
+// a trivial handler, isolating the telemetry overhead per request.
+func BenchmarkMiddlewareRequest(b *testing.B) {
+	sim, err := heron.NewWordCount(heron.WordCountOptions{RatePerMinute: 8e6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sim.Run(2 * time.Minute); err != nil {
+		b.Fatal(err)
+	}
+	asOf := sim.Start().Add(2 * time.Minute)
+	top, err := heron.WordCountTopology(8, 1, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := topology.RoundRobinPack(top, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := tracker.New(func() time.Time { return asOf })
+	if err := tr.Register(top, plan); err != nil {
+		b.Fatal(err)
+	}
+	provider, err := metrics.NewTSDBProvider(sim.DB(), time.Minute)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := config.Default()
+	cfg.CalibrationLookback = 2 * time.Minute
+	svc, err := api.NewService(cfg, tr, provider, api.Options{
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+		Now:    func() time.Time { return asOf },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	handler := svc.Handler()
+	req := httptest.NewRequest("GET", "/api/v1/health", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
 	}
 }
 

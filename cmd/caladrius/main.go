@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	caladrius [-config caladrius.yaml] [-addr :8642] [-rate 30e6]
+//	caladrius [-config caladrius.yaml] [-addr :8642] [-rate 30e6] [-debug-addr localhost:8643]
 //
 // Then query it, e.g.:
 //
@@ -16,10 +16,12 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
@@ -27,6 +29,7 @@ import (
 	"caladrius/internal/config"
 	"caladrius/internal/heron"
 	"caladrius/internal/metrics"
+	"caladrius/internal/telemetry"
 	"caladrius/internal/topology"
 	"caladrius/internal/tracker"
 	"caladrius/internal/tsdb"
@@ -48,6 +51,7 @@ func run() error {
 	counterP := flag.Int("counter", 4, "demo counter parallelism")
 	warmMinutes := flag.Int("warm-minutes", 30, "simulated minutes of metric history to pre-populate")
 	metricsFile := flag.String("metrics", "", "serve from a heronsim -save metrics snapshot instead of simulating")
+	debugAddr := flag.String("debug-addr", "", "optional second listener for /debug/pprof, /debug/vars and /metrics (e.g. localhost:8643)")
 	flag.Parse()
 
 	cfg := config.Default()
@@ -62,6 +66,7 @@ func run() error {
 		cfg.APIAddr = *addr
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	reg := telemetry.NewRegistry()
 
 	// Metric substrate: load a snapshot from a previous heronsim run,
 	// or simulate fresh history.
@@ -84,6 +89,7 @@ func run() error {
 			SplitterP: *splitterP,
 			CounterP:  *counterP,
 			Schedule:  workload.ConstantRate(*rate / 60),
+			Metrics:   reg,
 		})
 		if err != nil {
 			return err
@@ -116,7 +122,11 @@ func run() error {
 		// Simulated history is only warm-minutes long.
 		cfg.CalibrationLookback = time.Duration(*warmMinutes) * time.Minute
 	}
-	svc, err := api.New(cfg, tr, provider, logger, func() time.Time { return asOf })
+	svc, err := api.NewService(cfg, tr, provider, api.Options{
+		Logger:    logger,
+		Now:       func() time.Time { return asOf },
+		Telemetry: reg,
+	})
 	if err != nil {
 		return err
 	}
@@ -124,7 +134,33 @@ func run() error {
 	mux := http.NewServeMux()
 	mux.Handle("/api/", svc.Handler())
 	mux.Handle("/tracker/", http.StripPrefix("/tracker", tr.Handler()))
+	mux.Handle("/metrics", telemetry.Handler(reg))
+	if *debugAddr != "" {
+		debug := debugMux(reg)
+		logger.Info("debug listening", "addr", *debugAddr)
+		go func() {
+			srv := &http.Server{Addr: *debugAddr, Handler: debug, ReadHeaderTimeout: 5 * time.Second}
+			if err := srv.ListenAndServe(); err != nil {
+				logger.Error("debug listener failed", "err", err)
+			}
+		}()
+	}
 	logger.Info("caladrius listening", "addr", cfg.APIAddr, "topology", top.Name())
 	server := &http.Server{Addr: cfg.APIAddr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	return server.ListenAndServe()
+}
+
+// debugMux serves the operational debug surface: pprof profiles,
+// expvar and the metrics registry. Kept off the API listener so
+// profiling endpoints are only reachable where -debug-addr points.
+func debugMux(reg *telemetry.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/metrics", telemetry.Handler(reg))
+	return mux
 }

@@ -15,6 +15,8 @@
 //	graph <topology>                     topology graph analyses
 //	query <topology> [-graph X] <gremlin>  run a Gremlin-style graph query
 //	job <id>                             poll an asynchronous job
+//	metrics [-top N] [-raw]              service telemetry with a latency table
+//	trace <id>                           render a job or request span tree
 //
 // traffic flags: -source-minutes N -horizon-minutes N -model NAME -sync
 // perf flags:    -rate TPM -p comp=N[,comp=N...] -forecast -sync
@@ -28,9 +30,12 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
+
+	"caladrius/internal/telemetry"
 )
 
 func main() {
@@ -79,6 +84,13 @@ func run(args []string) error {
 			return fmt.Errorf("usage: calctl job <id>")
 		}
 		return c.getJSON("/api/v1/jobs/" + rest[1])
+	case "metrics":
+		return metricsCmd(c, rest[1:])
+	case "trace":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: calctl trace <job-id>")
+		}
+		return traceCmd(c, rest[1])
 	default:
 		return fmt.Errorf("unknown command %q", rest[0])
 	}
@@ -234,4 +246,157 @@ func syncSuffix(sync bool) string {
 		return "?sync=true"
 	}
 	return ""
+}
+
+// getDecode fetches path and decodes the JSON response into v,
+// failing on error statuses.
+func (c *client) getDecode(path string, v any) error {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		return fmt.Errorf("server returned %s: %s", resp.Status, strings.TrimSpace(string(data)))
+	}
+	return json.Unmarshal(data, v)
+}
+
+func metricsCmd(c *client, args []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ContinueOnError)
+	top := fs.Int("top", 10, "histogram rows to show in the latency table")
+	raw := fs.Bool("raw", false, "dump the full JSON snapshot instead of the summary")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *raw {
+		return c.getJSON("/metrics?format=json")
+	}
+	var metrics []telemetry.MetricJSON
+	if err := c.getDecode("/metrics?format=json", &metrics); err != nil {
+		return err
+	}
+	type histRow struct {
+		name   string
+		labels string
+		count  uint64
+		meanMs float64
+		p95Ms  float64
+	}
+	var rows []histRow
+	for _, m := range metrics {
+		switch m.Type {
+		case "histogram":
+			for _, s := range m.Series {
+				if s.Count == nil || *s.Count == 0 {
+					continue
+				}
+				r := histRow{name: m.Name, labels: labelString(s.Labels), count: *s.Count}
+				if s.Sum != nil {
+					r.meanMs = *s.Sum / float64(*s.Count) * 1000
+				}
+				r.p95Ms = bucketQuantile(s.Buckets, *s.Count, 0.95) * 1000
+				rows = append(rows, r)
+			}
+		default:
+			for _, s := range m.Series {
+				if s.Value != nil {
+					fmt.Printf("%s%s  %g\n", m.Name, labelString(s.Labels), *s.Value)
+				}
+			}
+		}
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].meanMs != rows[j].meanMs {
+			return rows[i].meanMs > rows[j].meanMs
+		}
+		return rows[i].name+rows[i].labels < rows[j].name+rows[j].labels
+	})
+	if len(rows) > *top {
+		rows = rows[:*top]
+	}
+	fmt.Printf("\n%-8s %-10s %-10s histogram\n", "count", "mean_ms", "p95_ms")
+	for _, r := range rows {
+		fmt.Printf("%-8d %-10.3f %-10.3f %s%s\n", r.count, r.meanMs, r.p95Ms, r.name, r.labels)
+	}
+	return nil
+}
+
+func labelString(labels telemetry.Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + labels[k]
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// bucketQuantile estimates a quantile from cumulative histogram
+// buckets by linear interpolation inside the containing bucket, the
+// same estimate Prometheus' histogram_quantile computes.
+func bucketQuantile(buckets []telemetry.BucketJSON, count uint64, q float64) float64 {
+	rank := q * float64(count)
+	var lo float64
+	var below uint64
+	for _, b := range buckets {
+		if float64(b.Count) >= rank {
+			span := float64(b.Count - below)
+			if span == 0 || b.LE > 1e300 {
+				return lo
+			}
+			return lo + (b.LE-lo)*(rank-float64(below))/span
+		}
+		lo, below = b.LE, b.Count
+	}
+	return lo
+}
+
+func traceCmd(c *client, id string) error {
+	var trace telemetry.TraceJSON
+	if err := c.getDecode("/api/v1/jobs/"+id+"/trace", &trace); err != nil {
+		return err
+	}
+	fmt.Println("trace", trace.TraceID)
+	for _, s := range trace.Spans {
+		printSpan(s, 0)
+	}
+	return nil
+}
+
+func printSpan(s telemetry.SpanJSON, depth int) {
+	state := ""
+	if s.InProgress {
+		state = "  (in progress)"
+	}
+	attrs := ""
+	if len(s.Attrs) > 0 {
+		keys := make([]string, 0, len(s.Attrs))
+		for k := range s.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, len(keys))
+		for i, k := range keys {
+			parts[i] = k + "=" + s.Attrs[k]
+		}
+		attrs = "  [" + strings.Join(parts, " ") + "]"
+	}
+	fmt.Printf("%s%s  %.3fms%s%s\n", strings.Repeat("  ", depth), s.Name, s.DurationMs, attrs, state)
+	for _, child := range s.Children {
+		printSpan(child, depth+1)
+	}
 }

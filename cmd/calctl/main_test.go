@@ -1,6 +1,7 @@
 package main
 
 import (
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -10,6 +11,7 @@ import (
 	"caladrius/internal/config"
 	"caladrius/internal/heron"
 	"caladrius/internal/metrics"
+	"caladrius/internal/telemetry"
 	"caladrius/internal/topology"
 	"caladrius/internal/tracker"
 	"caladrius/internal/workload"
@@ -51,7 +53,10 @@ func newTestServer(t *testing.T) *httptest.Server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(svc.Handler())
+	mux := http.NewServeMux()
+	mux.Handle("/api/", svc.Handler())
+	mux.Handle("/metrics", telemetry.Handler(svc.Metrics()))
+	srv := httptest.NewServer(mux)
 	t.Cleanup(srv.Close)
 	return srv
 }
@@ -70,6 +75,12 @@ func TestCommands(t *testing.T) {
 		{"suggest", "word-count", "-rate", "40e6", "-headroom", "0.15"},
 		{"query", "word-count", "g.V().hasLabel('stmgr').count()"},
 		{"query", "word-count", "-graph", "logical", "g.V().count()"},
+		// Runs after the sync requests above, so histograms have
+		// observations and the first sync trace ("t-1") exists.
+		{"metrics"},
+		{"metrics", "-top", "3"},
+		{"metrics", "-raw"},
+		{"trace", "t-1"},
 	}
 	for _, args := range ok {
 		if err := run(append(append([]string{}, base...), args...)); err != nil {
@@ -95,6 +106,8 @@ func TestCommandErrors(t *testing.T) {
 		{"query", "word-count"},                  // missing query string
 		{"query", "word-count", "g.V().bogus()"}, // server-side query error
 		{"job"},                                  // missing id
+		{"trace"},                                // missing id
+		{"trace", "no-such-trace"},               // 404 from server
 		{"perf", "ghost-topology", "-rate", "1"}, // 404 from server
 	}
 	for _, args := range bad {
@@ -114,11 +127,15 @@ func TestAsyncJobFlow(t *testing.T) {
 	for {
 		err := run([]string{"-server", srv.URL, "job", "job-1"})
 		if err == nil {
-			return
+			break
 		}
 		if time.Now().After(deadline) {
 			t.Fatalf("job never resolved: %v", err)
 		}
 		time.Sleep(20 * time.Millisecond)
+	}
+	// The async job's trace is stored under the job id.
+	if err := run([]string{"-server", srv.URL, "trace", "job-1"}); err != nil {
+		t.Fatalf("trace job-1: %v", err)
 	}
 }

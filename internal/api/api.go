@@ -21,6 +21,7 @@
 package api
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -37,6 +38,7 @@ import (
 	"caladrius/internal/forecast"
 	"caladrius/internal/graph"
 	"caladrius/internal/metrics"
+	"caladrius/internal/telemetry"
 	"caladrius/internal/tracker"
 	"caladrius/internal/tsdb"
 )
@@ -52,6 +54,13 @@ type Service struct {
 	logger   *slog.Logger
 	now      func() time.Time
 
+	tel         *telemetry.Registry
+	tracer      *telemetry.Tracer
+	httpInst    *httpInstruments
+	jobsRunning *telemetry.Gauge
+	jobsDone    *telemetry.Counter
+	jobsFailed  *telemetry.Counter
+
 	mu         sync.Mutex
 	modelCache map[string]cachedModel // topology name → calibrated model
 }
@@ -61,33 +70,79 @@ type cachedModel struct {
 	model       *core.TopologyModel
 }
 
-// New builds a service. logger and now are optional.
+// Options carries the service's optional dependencies.
+type Options struct {
+	// Logger receives the structured access log and service events.
+	// Default: slog.Default().
+	Logger *slog.Logger
+	// Now anchors metric queries and job timestamps. Default: time.Now.
+	// A frozen demo clock here does not affect telemetry: spans and
+	// request latencies always measure real wall time.
+	Now func() time.Time
+	// Telemetry is the metrics registry to instrument into. Default: a
+	// fresh private registry, exposed via Service.Metrics.
+	Telemetry *telemetry.Registry
+	// Tracer records model-pipeline traces. Default: a fresh tracer
+	// retaining telemetry.DefaultMaxTraces traces.
+	Tracer *telemetry.Tracer
+}
+
+// New builds a service. logger and now are optional; telemetry is
+// private (use NewService to share a registry).
 func New(cfg config.Config, tr *tracker.Tracker, provider metrics.Provider, logger *slog.Logger, now func() time.Time) (*Service, error) {
+	return NewService(cfg, tr, provider, Options{Logger: logger, Now: now})
+}
+
+// NewService builds a service with explicit options.
+func NewService(cfg config.Config, tr *tracker.Tracker, provider metrics.Provider, opts Options) (*Service, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if tr == nil || provider == nil {
 		return nil, errors.New("api: nil tracker or metrics provider")
 	}
-	if logger == nil {
-		logger = slog.Default()
+	if opts.Logger == nil {
+		opts.Logger = slog.Default()
 	}
-	if now == nil {
-		now = time.Now
+	if opts.Now == nil {
+		opts.Now = time.Now
 	}
+	if opts.Telemetry == nil {
+		opts.Telemetry = telemetry.NewRegistry()
+	}
+	if opts.Tracer == nil {
+		opts.Tracer = telemetry.NewTracer(0, nil)
+	}
+	reg := opts.Telemetry
+	reg.SetHelp("caladrius_jobs_running", "Asynchronous modelling jobs currently executing.")
+	reg.SetHelp("caladrius_jobs_completed_total", "Finished asynchronous jobs, by outcome.")
 	return &Service{
-		cfg:        cfg,
-		tracker:    tr,
-		provider:   provider,
-		graphs:     graph.NewCache(),
-		jobs:       newJobStore(now),
-		logger:     logger,
-		now:        now,
-		modelCache: map[string]cachedModel{},
+		cfg:         cfg,
+		tracker:     tr,
+		provider:    provider,
+		graphs:      graph.NewCache(),
+		jobs:        newJobStore(opts.Now),
+		logger:      opts.Logger,
+		now:         opts.Now,
+		tel:         reg,
+		tracer:      opts.Tracer,
+		httpInst:    newHTTPInstruments(reg),
+		jobsRunning: reg.Gauge("caladrius_jobs_running", nil),
+		jobsDone:    reg.Counter("caladrius_jobs_completed_total", telemetry.Labels{"outcome": "done"}),
+		jobsFailed:  reg.Counter("caladrius_jobs_completed_total", telemetry.Labels{"outcome": "failed"}),
+		modelCache:  map[string]cachedModel{},
 	}, nil
 }
 
-// Handler returns the REST API handler.
+// Metrics returns the registry the service instruments into, for
+// mounting a /metrics endpoint.
+func (s *Service) Metrics() *telemetry.Registry { return s.tel }
+
+// Tracer returns the tracer holding recent model-run traces.
+func (s *Service) Tracer() *telemetry.Tracer { return s.tracer }
+
+// Handler returns the REST API handler, wrapped in the request
+// telemetry middleware and access log.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/api/v1/health", func(w http.ResponseWriter, r *http.Request) {
@@ -99,7 +154,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/api/v1/model/traffic/", s.handleTraffic)
 	mux.HandleFunc("/api/v1/model/topology/", s.handleTopology)
 	mux.HandleFunc("/api/v1/jobs/", s.handleJob)
-	return mux
+	return instrument(mux, s.httpInst, s.logger)
 }
 
 // --- request/response types ---------------------------------------------
@@ -178,10 +233,10 @@ func (s *Service) handleTraffic(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if hasAction {
-		s.dispatch(w, r, func() (any, error) { return s.runRank(topoName, req) })
+		s.dispatch(w, r, "rank", func(ctx context.Context) (any, error) { return s.runRank(ctx, topoName, req) })
 		return
 	}
-	s.dispatch(w, r, func() (any, error) { return s.runTraffic(topoName, req) })
+	s.dispatch(w, r, "traffic", func(ctx context.Context) (any, error) { return s.runTraffic(ctx, topoName, req) })
 }
 
 // RankEntry is one model's backtest outcome on the topology's own
@@ -203,8 +258,8 @@ type RankResponse struct {
 // runRank backtests every configured traffic model on the topology's
 // recent source-throughput history (final 20% held out) and ranks them
 // by MAPE — the model-selection question the pluggable tier raises.
-func (s *Service) runRank(topoName string, req TrafficRequest) (*RankResponse, error) {
-	info, err := s.tracker.Get(topoName)
+func (s *Service) runRank(ctx context.Context, topoName string, req TrafficRequest) (*RankResponse, error) {
+	info, err := s.trackerGet(ctx, topoName)
 	if err != nil {
 		return nil, err
 	}
@@ -215,7 +270,7 @@ func (s *Service) runRank(topoName string, req TrafficRequest) (*RankResponse, e
 	if asOf.IsZero() {
 		asOf = s.now()
 	}
-	history, err := s.provider.SourceRate(topoName, info.Topology.Spouts(), asOf.Add(-time.Duration(req.SourceMinutes)*time.Minute), asOf)
+	history, err := s.sourceRate(ctx, topoName, info.Topology.Spouts(), asOf.Add(-time.Duration(req.SourceMinutes)*time.Minute), asOf)
 	if err != nil {
 		return nil, fmt.Errorf("traffic history: %w", err)
 	}
@@ -226,6 +281,8 @@ func (s *Service) runRank(topoName string, req TrafficRequest) (*RankResponse, e
 	for i, ref := range s.cfg.TrafficModels {
 		candidates[i].Name, candidates[i].Options = ref.Name, ref.Options
 	}
+	_, sp := telemetry.StartSpan(ctx, "rank")
+	defer sp.End()
 	resp := &RankResponse{Topology: topoName}
 	for _, r := range forecast.Rank(candidates, history, 0.2) {
 		e := RankEntry{Model: r.Model, MAPE: r.Accuracy.MAPE, RMSE: r.Accuracy.RMSE, Coverage: r.Accuracy.Coverage}
@@ -259,7 +316,7 @@ func (s *Service) handleTopology(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusOK, resp)
 			return
 		}
-		tm, err := s.topologyModel(topoName, time.Time{})
+		tm, err := s.topologyModel(r.Context(), topoName, time.Time{})
 		if err != nil {
 			httpError(w, statusFor(err), err.Error())
 			return
@@ -278,21 +335,21 @@ func (s *Service) handleTopology(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		s.dispatch(w, r, func() (any, error) { return s.runPerformance(topoName, req) })
+		s.dispatch(w, r, "performance", func(ctx context.Context) (any, error) { return s.runPerformance(ctx, topoName, req) })
 	case "suggest":
 		var req SuggestRequest
 		if err := decodeBody(r.Body, &req); err != nil {
 			httpError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		s.dispatch(w, r, func() (any, error) { return s.runSuggest(topoName, req) })
+		s.dispatch(w, r, "suggest", func(ctx context.Context) (any, error) { return s.runSuggest(ctx, topoName, req) })
 	case "query":
 		var req GraphQueryRequest
 		if err := decodeBody(r.Body, &req); err != nil {
 			httpError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		s.dispatch(w, r, func() (any, error) { return s.runGraphQuery(topoName, req) })
+		s.dispatch(w, r, "graph-query", func(ctx context.Context) (any, error) { return s.runGraphQuery(ctx, topoName, req) })
 	case "calibrate":
 		var req PerformanceRequest
 		if err := decodeBody(r.Body, &req); err != nil {
@@ -300,8 +357,8 @@ func (s *Service) handleTopology(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.invalidateModel(topoName)
-		s.dispatch(w, r, func() (any, error) {
-			_, err := s.topologyModel(topoName, req.AsOf)
+		s.dispatch(w, r, "calibrate", func(ctx context.Context) (any, error) {
+			_, err := s.topologyModel(ctx, topoName, req.AsOf)
 			if err != nil {
 				return nil, err
 			}
@@ -317,7 +374,24 @@ func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	id := strings.TrimPrefix(r.URL.Path, "/api/v1/jobs/")
+	rest := strings.TrimPrefix(r.URL.Path, "/api/v1/jobs/")
+	id, sub, hasSub := strings.Cut(rest, "/")
+	if hasSub {
+		if sub != "trace" {
+			httpError(w, http.StatusNotFound, fmt.Sprintf("unknown job sub-resource %q", sub))
+			return
+		}
+		// Traces are looked up in the tracer directly, so traces of
+		// synchronous runs (ids from the X-Caladrius-Trace header) are
+		// retrievable through the same endpoint.
+		tj, ok := s.tracer.Snapshot(id)
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Sprintf("no trace for job %q (evicted or never ran)", id))
+			return
+		}
+		writeJSON(w, http.StatusOK, tj)
+		return
+	}
 	job, ok := s.jobs.get(id)
 	if !ok {
 		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown job %q", id))
@@ -326,10 +400,25 @@ func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, job)
 }
 
-// dispatch runs fn inline (?sync=true) or as an asynchronous job.
-func (s *Service) dispatch(w http.ResponseWriter, r *http.Request, fn func() (any, error)) {
+// TraceHeader carries the trace id of a synchronous model run back to
+// the client; async runs use their job id as the trace id.
+const TraceHeader = "X-Caladrius-Trace"
+
+// dispatch runs fn inline (?sync=true) or as an asynchronous job,
+// opening a trace whose root span covers the whole model run. Async
+// jobs trace under their job id; sync runs get an auto id returned in
+// the TraceHeader response header.
+func (s *Service) dispatch(w http.ResponseWriter, r *http.Request, op string, fn func(context.Context) (any, error)) {
 	if r.URL.Query().Get("sync") == "true" {
-		result, err := fn()
+		root := s.tracer.Start("", op)
+		root.SetAttr("path", r.URL.Path)
+		root.SetAttr("mode", "sync")
+		result, err := fn(telemetry.ContextWithSpan(r.Context(), root))
+		if err != nil {
+			root.SetAttr("error", err.Error())
+		}
+		root.End()
+		w.Header().Set(TraceHeader, root.TraceID())
 		if err != nil {
 			s.logger.Warn("model request failed", "path", r.URL.Path, "err", err)
 			httpError(w, statusFor(err), err.Error())
@@ -339,17 +428,40 @@ func (s *Service) dispatch(w http.ResponseWriter, r *http.Request, fn func() (an
 		return
 	}
 	job := s.jobs.create()
-	s.jobs.run(job.ID, fn)
+	root := s.tracer.Start(job.ID, op)
+	root.SetAttr("path", r.URL.Path)
+	root.SetAttr("mode", "async")
+	// The request context dies with the response; the job traces under
+	// a fresh one.
+	ctx := telemetry.ContextWithSpan(context.Background(), root)
+	s.jobsRunning.Inc()
+	s.jobs.run(job.ID, func() (any, error) {
+		defer s.jobsRunning.Dec()
+		defer root.End()
+		result, err := fn(ctx)
+		if err != nil {
+			root.SetAttr("error", err.Error())
+			s.jobsFailed.Inc()
+		} else {
+			s.jobsDone.Inc()
+		}
+		return result, err
+	})
+	w.Header().Set(TraceHeader, job.ID)
 	w.Header().Set("Location", "/api/v1/jobs/"+job.ID)
-	writeJSON(w, http.StatusAccepted, map[string]any{"job_id": job.ID, "poll": "/api/v1/jobs/" + job.ID})
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"job_id": job.ID,
+		"poll":   "/api/v1/jobs/" + job.ID,
+		"trace":  "/api/v1/jobs/" + job.ID + "/trace",
+	})
 }
 
 // --- model execution ------------------------------------------------------
 
 // runTraffic fits the configured traffic models on the topology's
 // source-throughput history and forecasts the horizon.
-func (s *Service) runTraffic(topoName string, req TrafficRequest) (*TrafficResponse, error) {
-	info, err := s.tracker.Get(topoName)
+func (s *Service) runTraffic(ctx context.Context, topoName string, req TrafficRequest) (*TrafficResponse, error) {
+	info, err := s.trackerGet(ctx, topoName)
 	if err != nil {
 		return nil, err
 	}
@@ -364,7 +476,7 @@ func (s *Service) runTraffic(topoName string, req TrafficRequest) (*TrafficRespo
 		asOf = s.now()
 	}
 	start := asOf.Add(-time.Duration(req.SourceMinutes) * time.Minute)
-	history, err := s.provider.SourceRate(topoName, info.Topology.Spouts(), start, asOf)
+	history, err := s.sourceRate(ctx, topoName, info.Topology.Spouts(), start, asOf)
 	if err != nil {
 		return nil, fmt.Errorf("traffic history: %w", err)
 	}
@@ -388,14 +500,18 @@ func (s *Service) runTraffic(topoName string, req TrafficRequest) (*TrafficRespo
 	resp := &TrafficResponse{Topology: topoName}
 	horizon := forecast.Horizon(asOf, time.Minute, req.HorizonMinutes)
 	for _, ref := range refs {
+		_, sp := telemetry.StartSpan(ctx, "forecast:"+ref.Name)
 		m, err := forecast.New(ref.Name, ref.Options)
 		if err != nil {
+			sp.End()
 			return nil, err
 		}
 		if err := m.Fit(history); err != nil {
+			sp.End()
 			return nil, fmt.Errorf("model %s: %w", ref.Name, err)
 		}
 		preds, err := m.Predict(horizon)
+		sp.End()
 		if err != nil {
 			return nil, fmt.Errorf("model %s: %w", ref.Name, err)
 		}
@@ -411,24 +527,26 @@ func (s *Service) runTraffic(topoName string, req TrafficRequest) (*TrafficRespo
 }
 
 // runPerformance evaluates a proposed configuration.
-func (s *Service) runPerformance(topoName string, req PerformanceRequest) (*PerformanceResponse, error) {
+func (s *Service) runPerformance(ctx context.Context, topoName string, req PerformanceRequest) (*PerformanceResponse, error) {
 	asOf := req.AsOf
 	if asOf.IsZero() {
 		asOf = s.now()
 	}
-	tm, err := s.topologyModel(topoName, asOf)
+	tm, err := s.topologyModel(ctx, topoName, asOf)
 	if err != nil {
 		return nil, err
 	}
 	rate := req.SourceRateTPM
 	switch {
 	case req.UseForecast:
-		tr, err := s.runTraffic(topoName, TrafficRequest{
+		fctx, fsp := telemetry.StartSpan(ctx, "forecast")
+		tr, err := s.runTraffic(fctx, topoName, TrafficRequest{
 			SourceMinutes:  req.SourceMinutes,
 			HorizonMinutes: req.HorizonMinutes,
 			Models:         []string{s.cfg.TrafficModels[0].Name},
 			AsOf:           asOf,
 		})
+		fsp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -440,11 +558,11 @@ func (s *Service) runPerformance(topoName string, req PerformanceRequest) (*Perf
 			}
 		}
 	case rate == 0:
-		info, err := s.tracker.Get(topoName)
+		info, err := s.trackerGet(ctx, topoName)
 		if err != nil {
 			return nil, err
 		}
-		pts, err := s.provider.SourceRate(topoName, info.Topology.Spouts(), asOf.Add(-15*time.Minute), asOf)
+		pts, err := s.sourceRate(ctx, topoName, info.Topology.Spouts(), asOf.Add(-15*time.Minute), asOf)
 		if err != nil {
 			return nil, fmt.Errorf("current source rate: %w", err)
 		}
@@ -453,26 +571,48 @@ func (s *Service) runPerformance(topoName string, req PerformanceRequest) (*Perf
 	if rate < 0 || math.IsNaN(rate) {
 		return nil, fmt.Errorf("api: bad source rate %g", rate)
 	}
+	_, psp := telemetry.StartSpan(ctx, "predict")
 	pred, err := tm.Predict(req.Parallelism, rate)
+	psp.End()
 	if err != nil {
 		return nil, err
 	}
 	return &PerformanceResponse{Topology: topoName, Prediction: pred, EvaluatedRateTPM: rate}, nil
 }
 
+// trackerGet fetches topology metadata under a "tracker.fetch" span.
+func (s *Service) trackerGet(ctx context.Context, topoName string) (tracker.Info, error) {
+	_, sp := telemetry.StartSpan(ctx, "tracker.fetch")
+	defer sp.End()
+	return s.tracker.Get(topoName)
+}
+
+// sourceRate queries source throughput under a "source-rate" span.
+func (s *Service) sourceRate(ctx context.Context, topoName string, spouts []string, start, end time.Time) ([]tsdb.Point, error) {
+	_, sp := telemetry.StartSpan(ctx, "source-rate")
+	defer sp.End()
+	return s.provider.SourceRate(topoName, spouts, start, end)
+}
+
 // topologyModel returns the calibrated model for the topology, reusing
-// the cache while the packing-plan version is unchanged.
-func (s *Service) topologyModel(topoName string, asOf time.Time) (*core.TopologyModel, error) {
-	info, err := s.tracker.Get(topoName)
+// the cache while the packing-plan version is unchanged. The run is
+// recorded under a "calibrate" span (attr cache=hit|miss); on a miss
+// the core calibration reports per-component stage timings into it.
+func (s *Service) topologyModel(ctx context.Context, topoName string, asOf time.Time) (*core.TopologyModel, error) {
+	ctx, sp := telemetry.StartSpan(ctx, "calibrate")
+	defer sp.End()
+	info, err := s.trackerGet(ctx, topoName)
 	if err != nil {
 		return nil, err
 	}
 	s.mu.Lock()
 	if c, ok := s.modelCache[topoName]; ok && c.planVersion == info.Plan.Version {
 		s.mu.Unlock()
+		sp.SetAttr("cache", "hit")
 		return c.model, nil
 	}
 	s.mu.Unlock()
+	sp.SetAttr("cache", "miss")
 
 	if asOf.IsZero() {
 		asOf = s.now()
@@ -484,6 +624,7 @@ func (s *Service) topologyModel(topoName string, asOf time.Time) (*core.Topology
 	models, err := core.CalibrateTopologyFromProvider(s.provider, info.Topology, start, asOf, core.CalibrationOptions{
 		Warmup: s.cfg.CalibrationWarmup,
 		Window: s.cfg.MetricsWindow,
+		Stages: telemetry.SpanFromContext(ctx),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("calibrate %s: %w", topoName, err)
@@ -532,22 +673,22 @@ type SuggestResponse struct {
 }
 
 // runSuggest plans the minimal safe parallelisms for a source rate.
-func (s *Service) runSuggest(topoName string, req SuggestRequest) (*SuggestResponse, error) {
+func (s *Service) runSuggest(ctx context.Context, topoName string, req SuggestRequest) (*SuggestResponse, error) {
 	asOf := req.AsOf
 	if asOf.IsZero() {
 		asOf = s.now()
 	}
-	tm, err := s.topologyModel(topoName, asOf)
+	tm, err := s.topologyModel(ctx, topoName, asOf)
 	if err != nil {
 		return nil, err
 	}
 	rate := req.SourceRateTPM
 	if rate == 0 {
-		info, err := s.tracker.Get(topoName)
+		info, err := s.trackerGet(ctx, topoName)
 		if err != nil {
 			return nil, err
 		}
-		pts, err := s.provider.SourceRate(topoName, info.Topology.Spouts(), asOf.Add(-15*time.Minute), asOf)
+		pts, err := s.sourceRate(ctx, topoName, info.Topology.Spouts(), asOf.Add(-15*time.Minute), asOf)
 		if err != nil {
 			return nil, fmt.Errorf("current source rate: %w", err)
 		}
@@ -557,11 +698,15 @@ func (s *Service) runSuggest(topoName string, req SuggestRequest) (*SuggestRespo
 	if headroom == 0 {
 		headroom = 0.2
 	}
+	_, plSp := telemetry.StartSpan(ctx, "plan")
 	plan, err := tm.SuggestParallelism(rate, headroom)
+	plSp.End()
 	if err != nil {
 		return nil, err
 	}
+	_, prSp := telemetry.StartSpan(ctx, "predict")
 	pred, err := tm.Predict(plan, rate)
+	prSp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -587,14 +732,16 @@ type GraphQueryResponse struct {
 
 // runGraphQuery executes a Gremlin-style query through the graph
 // cache.
-func (s *Service) runGraphQuery(topoName string, req GraphQueryRequest) (*GraphQueryResponse, error) {
+func (s *Service) runGraphQuery(ctx context.Context, topoName string, req GraphQueryRequest) (*GraphQueryResponse, error) {
 	if strings.TrimSpace(req.Query) == "" {
 		return nil, fmt.Errorf("api: empty graph query")
 	}
-	info, err := s.tracker.Get(topoName)
+	info, err := s.trackerGet(ctx, topoName)
 	if err != nil {
 		return nil, err
 	}
+	_, sp := telemetry.StartSpan(ctx, "graph-query")
+	defer sp.End()
 	logical, physical, err := s.graphs.Get(info.Topology, info.Plan)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,183 @@
+package api
+
+import (
+	"log/slog"
+	"net/http"
+	"strings"
+	"time"
+
+	"caladrius/internal/telemetry"
+)
+
+// Route patterns the middleware aggregates metrics under. Raw paths
+// carry topology names and job ids; aggregating per pattern keeps
+// cardinality bounded no matter how many topologies the service
+// models.
+const (
+	routeHealth      = "/api/v1/health"
+	routeModels      = "/api/v1/models/traffic"
+	routeTraffic     = "/api/v1/model/traffic/{topology}"
+	routeRank        = "/api/v1/model/traffic/{topology}/rank"
+	routePerformance = "/api/v1/model/topology/{topology}/performance"
+	routeSuggest     = "/api/v1/model/topology/{topology}/suggest"
+	routeCalibrate   = "/api/v1/model/topology/{topology}/calibrate"
+	routeModel       = "/api/v1/model/topology/{topology}/model"
+	routeGraph       = "/api/v1/model/topology/{topology}/graph"
+	routeQuery       = "/api/v1/model/topology/{topology}/query"
+	routeJob         = "/api/v1/jobs/{id}"
+	routeJobTrace    = "/api/v1/jobs/{id}/trace"
+	routeOther       = "other"
+)
+
+var allRoutes = []string{
+	routeHealth, routeModels, routeTraffic, routeRank,
+	routePerformance, routeSuggest, routeCalibrate, routeModel,
+	routeGraph, routeQuery, routeJob, routeJobTrace, routeOther,
+}
+
+// routePattern maps a concrete request path to its route pattern
+// without allocating.
+func routePattern(path string) string {
+	switch path {
+	case routeHealth:
+		return routeHealth
+	case routeModels:
+		return routeModels
+	}
+	if rest, ok := strings.CutPrefix(path, "/api/v1/model/traffic/"); ok {
+		name, action, hasAction := strings.Cut(rest, "/")
+		switch {
+		case name == "":
+			return routeOther
+		case !hasAction:
+			return routeTraffic
+		case action == "rank":
+			return routeRank
+		}
+		return routeOther
+	}
+	if rest, ok := strings.CutPrefix(path, "/api/v1/model/topology/"); ok {
+		name, action, _ := strings.Cut(rest, "/")
+		if name == "" {
+			return routeOther
+		}
+		switch action {
+		case "performance":
+			return routePerformance
+		case "suggest":
+			return routeSuggest
+		case "calibrate":
+			return routeCalibrate
+		case "model":
+			return routeModel
+		case "graph":
+			return routeGraph
+		case "query":
+			return routeQuery
+		}
+		return routeOther
+	}
+	if rest, ok := strings.CutPrefix(path, "/api/v1/jobs/"); ok {
+		id, sub, hasSub := strings.Cut(rest, "/")
+		switch {
+		case id == "":
+			return routeOther
+		case !hasSub:
+			return routeJob
+		case sub == "trace":
+			return routeJobTrace
+		}
+	}
+	return routeOther
+}
+
+// statusClasses index requests_total counters: status/100-1.
+var statusClasses = [5]string{"1xx", "2xx", "3xx", "4xx", "5xx"}
+
+// routeInstruments holds the pre-registered instruments of one route,
+// so the per-request hot path performs only map lookups and atomic
+// increments — no registrations, no allocations.
+type routeInstruments struct {
+	requests [5]*telemetry.Counter
+	latency  *telemetry.Histogram
+	bytes    *telemetry.Counter
+}
+
+type httpInstruments struct {
+	inFlight *telemetry.Gauge
+	routes   map[string]*routeInstruments
+}
+
+func newHTTPInstruments(reg *telemetry.Registry) *httpInstruments {
+	reg.SetHelp("caladrius_http_requests_total", "Requests served, by route pattern and status class.")
+	reg.SetHelp("caladrius_http_request_duration_seconds", "Request latency, by route pattern.")
+	reg.SetHelp("caladrius_http_response_bytes_total", "Response body bytes written, by route pattern.")
+	reg.SetHelp("caladrius_http_in_flight_requests", "Requests currently being served.")
+	h := &httpInstruments{
+		inFlight: reg.Gauge("caladrius_http_in_flight_requests", nil),
+		routes:   make(map[string]*routeInstruments, len(allRoutes)),
+	}
+	for _, route := range allRoutes {
+		ri := &routeInstruments{
+			latency: reg.Histogram("caladrius_http_request_duration_seconds", telemetry.DefLatencyBuckets, telemetry.Labels{"route": route}),
+			bytes:   reg.Counter("caladrius_http_response_bytes_total", telemetry.Labels{"route": route}),
+		}
+		for i, class := range statusClasses {
+			ri.requests[i] = reg.Counter("caladrius_http_requests_total", telemetry.Labels{"route": route, "class": class})
+		}
+		h.routes[route] = ri
+	}
+	return h
+}
+
+// statusRecorder captures the status code and body size a handler
+// writes.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += n
+	return n, err
+}
+
+// instrument wraps next with request telemetry and the structured
+// access log: per-route request counters by status class, latency
+// histograms, response-byte counters, an in-flight gauge, and one log
+// line per request on the service logger.
+func instrument(next http.Handler, inst *httpInstruments, logger *slog.Logger) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		inst.inFlight.Inc()
+		rec := statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(&rec, r)
+		inst.inFlight.Dec()
+
+		elapsed := time.Since(start)
+		route := routePattern(r.URL.Path)
+		ri := inst.routes[route]
+		idx := rec.status/100 - 1
+		if idx < 0 || idx >= len(ri.requests) {
+			idx = 4
+		}
+		ri.requests[idx].Inc()
+		ri.latency.Observe(elapsed.Seconds())
+		ri.bytes.Add(float64(rec.bytes))
+		logger.Info("http request",
+			"method", r.Method,
+			"route", route,
+			"path", r.URL.Path,
+			"status", rec.status,
+			"bytes", rec.bytes,
+			"duration_ms", float64(elapsed)/float64(time.Millisecond),
+		)
+	})
+}

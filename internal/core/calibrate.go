@@ -10,6 +10,14 @@ import (
 	"caladrius/internal/topology"
 )
 
+// StageTimer receives begin/end hooks for named stages of a model run
+// (metric fetches, per-component calibrations). The API tier passes a
+// tracing span here; the interface keeps core free of any telemetry
+// dependency. StartStage returns the function that ends the stage.
+type StageTimer interface {
+	StartStage(name string) func()
+}
+
 // CalibrationOptions tunes model calibration from metrics windows.
 type CalibrationOptions struct {
 	// Warmup drops the first N windows (topology stabilisation; the
@@ -26,6 +34,17 @@ type CalibrationOptions struct {
 	// Window is the metrics rollup interval; default one minute. It
 	// converts per-window counts into tuples/minute rates.
 	Window time.Duration
+	// Stages, when set, is notified of each calibration stage so the
+	// caller can time them (tracing, metrics).
+	Stages StageTimer
+}
+
+// startStage begins a named stage, tolerating a nil timer.
+func (o CalibrationOptions) startStage(name string) func() {
+	if o.Stages == nil {
+		return func() {}
+	}
+	return o.Stages.StartStage(name)
 }
 
 func (o CalibrationOptions) withDefaults() CalibrationOptions {
@@ -205,14 +224,17 @@ func CalibrateFromProvider(p metrics.Provider, topologyName, component string, p
 // descendants are quiet.
 func CalibrateTopologyFromProvider(p metrics.Provider, topo *topology.Topology, start, end time.Time, opts CalibrationOptions) (map[string]*ComponentModel, error) {
 	o := opts.withDefaults()
+	endFetch := o.startStage("fetch-windows")
 	windows := map[string][]metrics.Window{}
 	for _, c := range topo.Components() {
 		ws, err := p.ComponentWindows(topo.Name(), c.Name, start, end)
 		if err != nil {
+			endFetch()
 			return nil, fmt.Errorf("core: calibrate %q: %w", c.Name, err)
 		}
 		windows[c.Name] = ws
 	}
+	endFetch()
 	// Per-window backpressure flags by component, keyed on window time.
 	bpAt := map[string]map[time.Time]bool{}
 	for name, ws := range windows {
@@ -224,6 +246,7 @@ func CalibrateTopologyFromProvider(p metrics.Provider, topo *topology.Topology, 
 	}
 	models := map[string]*ComponentModel{}
 	for _, c := range topo.Components() {
+		endStage := o.startStage("calibrate:" + c.Name)
 		descendants := topo.Descendants(c.Name)
 		saturated := func(w metrics.Window) bool {
 			if w.BackpressureMs < o.SaturatedBpMs {
@@ -247,6 +270,7 @@ func CalibrateTopologyFromProvider(p metrics.Provider, topo *topology.Topology, 
 		}
 		m, err := calibrateMasked(c.Name, c.Parallelism, windows[c.Name], inst, opts, saturated)
 		if err != nil {
+			endStage()
 			return nil, err
 		}
 		// Per-stream I/O coefficients (Eqs. 4–5): split the aggregate α
@@ -265,9 +289,11 @@ func CalibrateTopologyFromProvider(p metrics.Provider, topo *topology.Topology, 
 			}
 		}
 		if err := m.Validate(); err != nil {
+			endStage()
 			return nil, err
 		}
 		models[c.Name] = m
+		endStage()
 	}
 	return models, nil
 }

@@ -3,6 +3,7 @@ package heron
 import (
 	"time"
 
+	"caladrius/internal/telemetry"
 	"caladrius/internal/topology"
 	"caladrius/internal/workload"
 )
@@ -74,6 +75,9 @@ type WordCountOptions struct {
 	// Tick and MetricsInterval forward to Config.
 	Tick            time.Duration
 	MetricsInterval time.Duration
+	// Metrics forwards to Config: the telemetry registry receiving
+	// simulator event counters (nil disables them).
+	Metrics *telemetry.Registry
 }
 
 func (o WordCountOptions) withDefaults() WordCountOptions {
@@ -161,5 +165,6 @@ func NewWordCount(opts WordCountOptions) (*Simulation, error) {
 		SlowFactors:     opts.SlowFactors,
 		ServiceNoiseStd: opts.ServiceNoiseStd,
 		NoiseSeed:       opts.NoiseSeed,
+		Metrics:         opts.Metrics,
 	})
 }

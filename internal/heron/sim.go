@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"time"
 
+	"caladrius/internal/telemetry"
 	"caladrius/internal/topology"
 	"caladrius/internal/tsdb"
 	"caladrius/internal/workload"
@@ -110,6 +111,42 @@ type Config struct {
 	// it is reachable via custom resources or watermarks (failure
 	// injection).
 	RestartDelay time.Duration
+	// Metrics, when set, receives simulator event telemetry: tick
+	// counts and wall-clock tick durations, backpressure on/off
+	// transitions, and tuples processed/dropped. Nil disables event
+	// telemetry entirely (no per-tick clock reads).
+	Metrics *telemetry.Registry
+}
+
+// simEvents bundles the simulator's telemetry instruments, labelled by
+// topology so several simulations can share one registry.
+type simEvents struct {
+	ticks     *telemetry.Counter
+	tickDur   *telemetry.Histogram
+	bpOn      *telemetry.Counter
+	bpOff     *telemetry.Counter
+	bpActive  *telemetry.Gauge
+	processed *telemetry.Counter
+	dropped   *telemetry.Counter
+}
+
+func newSimEvents(reg *telemetry.Registry, topo string) *simEvents {
+	l := telemetry.Labels{"topology": topo}
+	reg.SetHelp("caladrius_sim_ticks_total", "Simulation ticks executed.")
+	reg.SetHelp("caladrius_sim_tick_duration_seconds", "Wall-clock cost of one simulation tick.")
+	reg.SetHelp("caladrius_sim_backpressure_transitions_total", "Instance backpressure flag flips, by new state.")
+	reg.SetHelp("caladrius_sim_backpressure_active_instances", "Instances currently initiating backpressure.")
+	reg.SetHelp("caladrius_sim_tuples_processed_total", "Tuples executed across all instances.")
+	reg.SetHelp("caladrius_sim_tuples_dropped_total", "Tuples lost to user-logic failures and OOM restarts.")
+	return &simEvents{
+		ticks:     reg.Counter("caladrius_sim_ticks_total", l),
+		tickDur:   reg.Histogram("caladrius_sim_tick_duration_seconds", telemetry.DefTickBuckets, l),
+		bpOn:      reg.Counter("caladrius_sim_backpressure_transitions_total", telemetry.Labels{"topology": topo, "state": "on"}),
+		bpOff:     reg.Counter("caladrius_sim_backpressure_transitions_total", telemetry.Labels{"topology": topo, "state": "off"}),
+		bpActive:  reg.Gauge("caladrius_sim_backpressure_active_instances", l),
+		processed: reg.Counter("caladrius_sim_tuples_processed_total", l),
+		dropped:   reg.Counter("caladrius_sim_tuples_dropped_total", l),
+	}
 }
 
 type route struct {
@@ -166,6 +203,7 @@ type Simulation struct {
 	topoBP    bool // backpressure state broadcast this tick (previous tick's flags)
 	wTopoBpMs float64
 	noise     *rand.Rand // nil when ServiceNoiseStd == 0
+	events    *simEvents // nil when Config.Metrics is nil
 }
 
 // New validates the configuration and builds a simulation.
@@ -241,6 +279,9 @@ func New(cfg Config) (*Simulation, error) {
 		return nil, fmt.Errorf("heron: negative restart delay %s", cfg.RestartDelay)
 	}
 	s := &Simulation{cfg: cfg, db: cfg.DB, byComp: map[string][]*instanceState{}}
+	if cfg.Metrics != nil {
+		s.events = newSimEvents(cfg.Metrics, t.Name())
+	}
 	if cfg.ServiceNoiseStd > 0 {
 		s.noise = rand.New(rand.NewSource(cfg.NoiseSeed))
 	}
@@ -326,6 +367,11 @@ func (s *Simulation) Run(d time.Duration) error {
 func (s *Simulation) step() {
 	dt := s.cfg.Tick
 	dtSec := dt.Seconds()
+	var wallStart time.Time
+	if s.events != nil {
+		wallStart = time.Now()
+	}
+	var tickProcessed, tickDropped float64
 
 	// Backpressure state broadcast: spouts react to the flags set at
 	// the end of the previous tick (one-tick propagation delay).
@@ -381,6 +427,7 @@ func (s *Simulation) step() {
 				// Out of memory: the instance restarts, losing its
 				// queued tuples and going offline for RestartDelay.
 				inst.wFailed += inst.queueTuples
+				tickDropped += inst.queueTuples
 				inst.queueTuples = 0
 				inst.wRestarts++
 				inst.downTicks = int(s.cfg.RestartDelay / s.cfg.Tick)
@@ -399,6 +446,8 @@ func (s *Simulation) step() {
 		ok := processed - failed
 		inst.wExecuted += processed
 		inst.wFailed += failed
+		tickProcessed += processed
+		tickDropped += failed
 
 		var emitted float64
 		for _, r := range inst.routes {
@@ -448,7 +497,9 @@ func (s *Simulation) step() {
 	}
 
 	// Update watermark-based backpressure flags.
+	var bpOnN, bpOffN, bpActive int
 	for _, inst := range s.instances {
+		was := inst.bp
 		pending := inst.queueTuples * inst.profile.BytesPerTuple
 		if pending > s.cfg.HighWatermarkBytes {
 			inst.bp = true
@@ -457,6 +508,12 @@ func (s *Simulation) step() {
 		}
 		if inst.bp {
 			inst.wBpMs += float64(dt.Milliseconds())
+			bpActive++
+			if !was {
+				bpOnN++
+			}
+		} else if was {
+			bpOffN++
 		}
 	}
 	if s.topoBP {
@@ -466,6 +523,19 @@ func (s *Simulation) step() {
 	s.elapsed += dt
 	if s.elapsed >= s.windowEnd+s.cfg.MetricsInterval {
 		s.flushWindow()
+	}
+	if ev := s.events; ev != nil {
+		ev.ticks.Inc()
+		ev.tickDur.Observe(time.Since(wallStart).Seconds())
+		ev.processed.Add(tickProcessed)
+		ev.dropped.Add(tickDropped)
+		ev.bpActive.Set(float64(bpActive))
+		if bpOnN > 0 {
+			ev.bpOn.Add(float64(bpOnN))
+		}
+		if bpOffN > 0 {
+			ev.bpOff.Add(float64(bpOffN))
+		}
 	}
 }
 

@@ -1,0 +1,68 @@
+package heron
+
+import (
+	"testing"
+	"time"
+
+	"caladrius/internal/telemetry"
+	"caladrius/internal/workload"
+)
+
+// TestSimulatorEventTelemetry drives the word-count topology into and
+// out of saturation and checks the simulator's event counters: ticks,
+// processed tuples and backpressure transitions in both directions.
+func TestSimulatorEventTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	sim, err := NewWordCount(WordCountOptions{
+		SplitterP: 1,
+		// Saturate a single splitter (SP ≈ 10.8 M/min) for 5 minutes,
+		// then drop well below saturation so queues drain and the
+		// backpressure flag clears.
+		Schedule: workload.StepRate(20e6/60, 2e6/60, 5*time.Minute),
+		Metrics:  reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(15 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	labels := telemetry.Labels{"topology": "word-count"}
+	wantTicks := float64(15 * time.Minute / (100 * time.Millisecond))
+	if got := reg.Counter("caladrius_sim_ticks_total", labels).Value(); got != wantTicks {
+		t.Errorf("ticks = %g, want %g", got, wantTicks)
+	}
+	if got := reg.Histogram("caladrius_sim_tick_duration_seconds", telemetry.DefTickBuckets, labels).Count(); got != uint64(wantTicks) {
+		t.Errorf("tick duration observations = %d, want %g", got, wantTicks)
+	}
+	if got := reg.Counter("caladrius_sim_tuples_processed_total", labels).Value(); got < 50e6 {
+		t.Errorf("processed = %g, want ≥ 50e6", got)
+	}
+	on := reg.Counter("caladrius_sim_backpressure_transitions_total", telemetry.Labels{"topology": "word-count", "state": "on"}).Value()
+	off := reg.Counter("caladrius_sim_backpressure_transitions_total", telemetry.Labels{"topology": "word-count", "state": "off"}).Value()
+	if on < 1 || off < 1 {
+		t.Errorf("backpressure transitions on=%g off=%g, want ≥ 1 each", on, off)
+	}
+	if got := reg.Gauge("caladrius_sim_backpressure_active_instances", labels).Value(); got != 0 {
+		t.Errorf("active backpressure at low rate = %g, want 0", got)
+	}
+	// The word-count profiles have no failure rate and no OOM pressure.
+	if got := reg.Counter("caladrius_sim_tuples_dropped_total", labels).Value(); got != 0 {
+		t.Errorf("dropped = %g, want 0", got)
+	}
+}
+
+// TestSimulatorWithoutRegistry checks the nil-registry fast path stays
+// inert.
+func TestSimulatorWithoutRegistry(t *testing.T) {
+	sim, err := NewWordCount(WordCountOptions{RatePerMinute: 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.events != nil {
+		t.Fatal("events created without a registry")
+	}
+	if err := sim.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+}

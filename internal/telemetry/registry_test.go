@@ -1,0 +1,213 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", Labels{"route": "/x"})
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-7) // ignored: counters are monotonic
+	if got := c.Value(); got != 3.5 {
+		t.Errorf("counter = %g, want 3.5", got)
+	}
+	// Idempotent registration returns the same instrument.
+	if c2 := r.Counter("requests_total", Labels{"route": "/x"}); c2 != c {
+		t.Error("re-registration returned a new counter")
+	}
+	g := r.Gauge("in_flight", nil)
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 1 {
+		t.Errorf("gauge = %g, want 1", got)
+	}
+	g.Set(40)
+	g.Add(2)
+	if got := g.Value(); got != 42 {
+		t.Errorf("gauge = %g, want 42", got)
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("registering one name as two kinds did not panic")
+		}
+	}()
+	r.Gauge("m", nil)
+}
+
+// TestHistogramBucketBoundaries pins the "le" semantics: an
+// observation equal to an upper bound lands in that bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 2, 5}, nil)
+	for _, v := range []float64{0.5, 1, 1.0001, 2, 5, 5.0001, 100} {
+		h.Observe(v)
+	}
+	cum := h.Cumulative()
+	want := []uint64{2, 4, 5, 7} // ≤1: {0.5,1}; ≤2: +{1.0001,2}; ≤5: +{5}; +Inf: +{5.0001,100}
+	if len(cum) != len(want) {
+		t.Fatalf("cumulative buckets = %v", cum)
+	}
+	for i := range want {
+		if cum[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d (all %v)", i, cum[i], want[i], cum)
+		}
+	}
+	if h.Count() != 7 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if got := h.Sum(); got < 114.5 || got > 114.6 {
+		t.Errorf("sum = %g", got)
+	}
+	// Unsorted/duplicate/+Inf bounds are normalised at registration.
+	h2 := r.Histogram("lat2", []float64{5, 1, 1, 2, math.Inf(1)}, nil)
+	if len(h2.bounds) != 3 || h2.bounds[0] != 1 || h2.bounds[2] != 5 {
+		t.Errorf("normalised bounds = %v", h2.bounds)
+	}
+}
+
+// TestPrometheusGolden pins the exact text exposition format.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.SetHelp("http_requests_total", "Requests served.")
+	r.Counter("http_requests_total", Labels{"route": "/a", "class": "2xx"}).Add(3)
+	r.Counter("http_requests_total", Labels{"route": "/b", "class": "5xx"}).Inc()
+	r.Gauge("in_flight", nil).Set(2)
+	h := r.Histogram("latency_seconds", []float64{0.1, 0.5}, Labels{"route": "/a"})
+	h.Observe(0.05)
+	h.Observe(0.25)
+	h.Observe(0.25)
+	h.Observe(2)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP http_requests_total Requests served.
+# TYPE http_requests_total counter
+http_requests_total{class="2xx",route="/a"} 3
+http_requests_total{class="5xx",route="/b"} 1
+# TYPE in_flight gauge
+in_flight 2
+# TYPE latency_seconds histogram
+latency_seconds_bucket{route="/a",le="0.1"} 1
+latency_seconds_bucket{route="/a",le="0.5"} 3
+latency_seconds_bucket{route="/a",le="+Inf"} 4
+latency_seconds_sum{route="/a"} 2.55
+latency_seconds_count{route="/a"} 4
+`
+	if b.String() != want {
+		t.Errorf("prometheus output:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", Labels{"q": "a\"b\\c\nd"}).Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `q="a\"b\\c\nd"`) {
+		t.Errorf("escaping wrong:\n%s", b.String())
+	}
+}
+
+func TestSnapshotJSONAndHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", nil).Add(7)
+	r.Histogram("h", []float64{1}, nil).Observe(0.5)
+
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("families = %d", len(snap))
+	}
+	if snap[0].Name != "c" || snap[0].Type != "counter" || *snap[0].Series[0].Value != 7 {
+		t.Errorf("counter snapshot = %+v", snap[0])
+	}
+	if snap[1].Name != "h" || len(snap[1].Series[0].Buckets) != 2 || *snap[1].Series[0].Count != 1 {
+		t.Errorf("histogram snapshot = %+v", snap[1])
+	}
+
+	// Handler: text by default, JSON on request.
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	respJ, err := srv.Client().Get(srv.URL + "?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer respJ.Body.Close()
+	var decoded []MetricJSON
+	if err := json.NewDecoder(respJ.Body).Decode(&decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != 2 {
+		t.Errorf("JSON families = %d", len(decoded))
+	}
+}
+
+// TestRegistryConcurrency exercises registration and updates from many
+// goroutines; run under -race.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("shared_total", nil)
+			h := r.Histogram("shared_hist", []float64{1, 10}, nil)
+			g := r.Gauge("shared_gauge", nil)
+			own := r.Counter("per_worker_total", Labels{"w": fmt.Sprintf("%d", w)})
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				own.Inc()
+				h.Observe(float64(i % 20))
+				g.Add(1)
+				g.Add(-1)
+			}
+		}(w)
+	}
+	// Concurrent readers.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var b strings.Builder
+			_ = r.WritePrometheus(&b)
+			_ = r.Snapshot()
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total", nil).Value(); got != workers*perWorker {
+		t.Errorf("shared counter = %g, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("shared_hist", []float64{1, 10}, nil).Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Gauge("shared_gauge", nil).Value(); got != 0 {
+		t.Errorf("gauge = %g, want 0", got)
+	}
+}

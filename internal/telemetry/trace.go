@@ -1,0 +1,233 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Tracer records bounded in-memory traces of model-pipeline runs. A
+// trace is a tree of named spans with wall-clock timings and string
+// attributes; the API tier keys each trace by its job id so a client
+// can fetch "where did my request spend its time?" after the fact.
+// When the bound is exceeded the oldest trace is evicted (FIFO), so a
+// long-lived daemon holds a sliding window of recent runs.
+type Tracer struct {
+	mu     sync.Mutex
+	now    func() time.Time
+	max    int
+	seq    int
+	traces map[string]*traceRec
+	order  []string
+}
+
+type traceRec struct {
+	id    string
+	spans []*Span
+}
+
+// Span is one timed region of a trace. The zero *Span (nil) is a valid
+// no-op: every method is nil-receiver safe, so call sites instrument
+// unconditionally and pay nothing when tracing is off.
+type Span struct {
+	tracer  *Tracer
+	traceID string
+	id      int
+	parent  int // 0 = root
+	name    string
+	start   time.Time
+	end     time.Time // zero while open
+	attrs   [][2]string
+}
+
+// DefaultMaxTraces bounds a tracer's memory when no limit is given.
+const DefaultMaxTraces = 512
+
+// NewTracer builds a tracer retaining at most max traces (0 =
+// DefaultMaxTraces). now is the wall clock (nil = time.Now); traces
+// measure real elapsed time, so frozen demo clocks should not be
+// passed here.
+func NewTracer(max int, now func() time.Time) *Tracer {
+	if max <= 0 {
+		max = DefaultMaxTraces
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Tracer{now: now, max: max, traces: map[string]*traceRec{}}
+}
+
+// Start opens a new trace with a root span. traceID "" auto-generates
+// one ("t-1", "t-2", …); passing an existing id replaces that trace.
+func (t *Tracer) Start(traceID, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	if traceID == "" {
+		traceID = fmt.Sprintf("t-%d", t.seq)
+	}
+	if _, exists := t.traces[traceID]; !exists {
+		t.order = append(t.order, traceID)
+		for len(t.order) > t.max {
+			delete(t.traces, t.order[0])
+			t.order = t.order[1:]
+		}
+	}
+	rec := &traceRec{id: traceID}
+	t.traces[traceID] = rec
+	sp := &Span{tracer: t, traceID: traceID, id: 1, name: name, start: t.now()}
+	rec.spans = append(rec.spans, sp)
+	return sp
+}
+
+// TraceID returns the id of the span's trace ("" on the nil span).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.traceID
+}
+
+// Child opens a sub-span. On a nil or evicted span it returns nil.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	t := s.tracer
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rec, ok := t.traces[s.traceID]
+	if !ok {
+		return nil
+	}
+	sp := &Span{tracer: t, traceID: s.traceID, id: len(rec.spans) + 1, parent: s.id, name: name, start: t.now()}
+	rec.spans = append(rec.spans, sp)
+	return sp
+}
+
+// StartStage opens a child span and returns its End, satisfying the
+// core package's StageTimer interface so model code can report stage
+// timings without importing telemetry.
+func (s *Span) StartStage(name string) func() {
+	sp := s.Child(name)
+	return sp.End
+}
+
+// SetAttr attaches a key/value attribute to the span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.tracer.mu.Lock()
+	s.attrs = append(s.attrs, [2]string{key, value})
+	s.tracer.mu.Unlock()
+}
+
+// End closes the span. Ending twice keeps the first end time.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.tracer.mu.Lock()
+	if s.end.IsZero() {
+		s.end = s.tracer.now()
+	}
+	s.tracer.mu.Unlock()
+}
+
+// --- context propagation ---------------------------------------------------
+
+type spanCtxKey struct{}
+
+// ContextWithSpan returns ctx carrying the span.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFromContext returns the span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// StartSpan opens a child of the context's span and returns the
+// derived context plus the new span. With no span in ctx it is a
+// no-op: the original ctx and a nil span come back.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	sp := SpanFromContext(ctx).Child(name)
+	if sp == nil {
+		return ctx, nil
+	}
+	return ContextWithSpan(ctx, sp), sp
+}
+
+// --- snapshots -------------------------------------------------------------
+
+// SpanJSON is one span in a trace snapshot, with children nested.
+type SpanJSON struct {
+	Name       string            `json:"name"`
+	Start      time.Time         `json:"start"`
+	DurationMs float64           `json:"duration_ms"`
+	InProgress bool              `json:"in_progress,omitempty"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Children   []SpanJSON        `json:"children,omitempty"`
+}
+
+// TraceJSON is the wire form of one trace: its root spans, children
+// nested beneath their parents in start order.
+type TraceJSON struct {
+	TraceID string     `json:"trace_id"`
+	Spans   []SpanJSON `json:"spans"`
+}
+
+// Snapshot returns the trace's current span tree; open spans report
+// the duration so far and in_progress=true.
+func (t *Tracer) Snapshot(traceID string) (TraceJSON, bool) {
+	if t == nil {
+		return TraceJSON{}, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rec, ok := t.traces[traceID]
+	if !ok {
+		return TraceJSON{}, false
+	}
+	now := t.now()
+	children := map[int][]*Span{}
+	for _, sp := range rec.spans {
+		children[sp.parent] = append(children[sp.parent], sp)
+	}
+	var build func(parent int) []SpanJSON
+	build = func(parent int) []SpanJSON {
+		var out []SpanJSON
+		for _, sp := range children[parent] {
+			sj := SpanJSON{Name: sp.name, Start: sp.start}
+			end := sp.end
+			if end.IsZero() {
+				end, sj.InProgress = now, true
+			}
+			sj.DurationMs = float64(end.Sub(sp.start)) / float64(time.Millisecond)
+			if len(sp.attrs) > 0 {
+				sj.Attrs = make(map[string]string, len(sp.attrs))
+				for _, kv := range sp.attrs {
+					sj.Attrs[kv[0]] = kv[1]
+				}
+			}
+			sj.Children = build(sp.id)
+			out = append(out, sj)
+		}
+		return out
+	}
+	return TraceJSON{TraceID: traceID, Spans: build(0)}, true
+}
+
+// Len reports how many traces are retained (for tests).
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.traces)
+}
