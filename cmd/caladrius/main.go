@@ -5,9 +5,17 @@
 // time-series database, registers the topology with the embedded
 // tracker and serves the modelling API against that live state.
 //
+// The daemon also monitors itself: a background scraper appends every
+// registry instrument into a second embedded time-series store, an SLO
+// evaluator checks alert rules after each scrape, and the history is
+// served back through /api/v1/query_range and /api/v1/alerts (see
+// `calctl dash`). -scrape-interval 0 disables self-monitoring;
+// -history-file persists the history across restarts.
+//
 // Usage:
 //
 //	caladrius [-config caladrius.yaml] [-addr :8642] [-rate 30e6] [-debug-addr localhost:8643]
+//	          [-scrape-interval 5s] [-history-retention 1h] [-history-file caladrius-history.json]
 //
 // Then query it, e.g.:
 //
@@ -16,6 +24,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
@@ -23,6 +33,8 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"caladrius/internal/api"
@@ -52,6 +64,9 @@ func run() error {
 	warmMinutes := flag.Int("warm-minutes", 30, "simulated minutes of metric history to pre-populate")
 	metricsFile := flag.String("metrics", "", "serve from a heronsim -save metrics snapshot instead of simulating")
 	debugAddr := flag.String("debug-addr", "", "optional second listener for /debug/pprof, /debug/vars and /metrics (e.g. localhost:8643)")
+	scrapeInterval := flag.Duration("scrape-interval", 5*time.Second, "self-monitoring scrape period; 0 disables the scraper, history and alerts")
+	historyRetention := flag.Duration("history-retention", time.Hour, "how much scraped telemetry history to keep")
+	historyFile := flag.String("history-file", "", "persist scraped history to this file on shutdown and reload it on boot")
 	flag.Parse()
 
 	cfg := config.Default()
@@ -122,10 +137,46 @@ func run() error {
 		// Simulated history is only warm-minutes long.
 		cfg.CalibrationLookback = time.Duration(*warmMinutes) * time.Minute
 	}
+	// Self-monitoring: scrape the registry into a second history store
+	// (the demo metric db keeps simulated topology metrics; this one
+	// keeps the service's own telemetry, stamped with real wall time).
+	var history *tsdb.DB
+	var scraper *telemetry.Scraper
+	var slo *telemetry.SLO
+	if *scrapeInterval > 0 {
+		if *historyFile != "" {
+			h, err := tsdb.LoadFile(*historyFile)
+			switch {
+			case err == nil:
+				history = h
+				logger.Info("loaded telemetry history", "file", *historyFile, "points", h.TotalPoints())
+			case errors.Is(err, os.ErrNotExist):
+				// First boot: nothing to restore yet.
+			default:
+				return fmt.Errorf("load history: %w", err)
+			}
+		}
+		if history == nil {
+			history = tsdb.New(*historyRetention)
+		} else {
+			history.SetRetention(*historyRetention)
+		}
+		scraper = telemetry.NewScraper(reg, history, telemetry.ScrapeOptions{Interval: *scrapeInterval})
+		scraper.AddCollector(telemetry.RegisterRuntime(reg, time.Now(), time.Now))
+		var err error
+		slo, err = telemetry.NewSLO(history, reg, nil, telemetry.DefaultSLORules())
+		if err != nil {
+			return err
+		}
+		scraper.AfterScrape(func(time.Time) { slo.Evaluate() })
+	}
+
 	svc, err := api.NewService(cfg, tr, provider, api.Options{
 		Logger:    logger,
 		Now:       func() time.Time { return asOf },
 		Telemetry: reg,
+		History:   history,
+		SLO:       slo,
 	})
 	if err != nil {
 		return err
@@ -145,9 +196,36 @@ func run() error {
 			}
 		}()
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if scraper != nil {
+		logger.Info("self-monitoring scraper running", "interval", *scrapeInterval, "retention", *historyRetention)
+		go scraper.Run(ctx)
+	}
+
 	logger.Info("caladrius listening", "addr", cfg.APIAddr, "topology", top.Name())
 	server := &http.Server{Addr: cfg.APIAddr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-	return server.ListenAndServe()
+	errCh := make(chan error, 1)
+	go func() { errCh <- server.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	logger.Info("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = server.Shutdown(shutdownCtx)
+	if scraper != nil && *historyFile != "" {
+		scraper.ScrapeOnce(time.Now()) // one final scrape so the snapshot is current
+		if err := history.SaveFile(*historyFile); err != nil {
+			logger.Error("saving telemetry history", "file", *historyFile, "err", err)
+		} else {
+			logger.Info("saved telemetry history", "file", *historyFile, "points", history.TotalPoints())
+		}
+	}
+	return nil
 }
 
 // debugMux serves the operational debug surface: pprof profiles,

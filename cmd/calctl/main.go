@@ -17,9 +17,11 @@
 //	job <id>                             poll an asynchronous job
 //	metrics [-top N] [-raw]              service telemetry with a latency table
 //	trace <id>                           render a job or request span tree
+//	dash [flags]                         live terminal dashboard from the history endpoints
 //
 // traffic flags: -source-minutes N -horizon-minutes N -model NAME -sync
 // perf flags:    -rate TPM -p comp=N[,comp=N...] -forecast -sync
+// dash flags:    -interval 2s -window 5m -step 10s -iterations N -no-clear -width 60
 package main
 
 import (
@@ -91,6 +93,8 @@ func run(args []string) error {
 			return fmt.Errorf("usage: calctl trace <job-id>")
 		}
 		return traceCmd(c, rest[1])
+	case "dash":
+		return dashCmd(c, rest[1:])
 	default:
 		return fmt.Errorf("unknown command %q", rest[0])
 	}
@@ -349,6 +353,9 @@ func labelString(labels telemetry.Labels) string {
 // buckets by linear interpolation inside the containing bucket, the
 // same estimate Prometheus' histogram_quantile computes.
 func bucketQuantile(buckets []telemetry.BucketJSON, count uint64, q float64) float64 {
+	if count == 0 || len(buckets) == 0 {
+		return 0
+	}
 	rank := q * float64(count)
 	var lo float64
 	var below uint64

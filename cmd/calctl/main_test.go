@@ -14,11 +14,14 @@ import (
 	"caladrius/internal/telemetry"
 	"caladrius/internal/topology"
 	"caladrius/internal/tracker"
+	"caladrius/internal/tsdb"
 	"caladrius/internal/workload"
 )
 
-// newTestServer stands up a full service over simulated metrics.
-func newTestServer(t *testing.T) *httptest.Server {
+// newTestServer stands up a full service over simulated metrics, with
+// the self-monitoring pipeline (scraper, history store, SLO rules)
+// wired in so the history endpoints and `calctl dash` have data.
+func newTestServer(t *testing.T) (*httptest.Server, *telemetry.Scraper) {
 	t.Helper()
 	sim, err := heron.NewWordCount(heron.WordCountOptions{
 		SplitterP: 3, CounterP: 8,
@@ -49,7 +52,19 @@ func newTestServer(t *testing.T) *httptest.Server {
 	}
 	cfg := config.Default()
 	cfg.CalibrationLookback = 30 * time.Minute
-	svc, err := api.New(cfg, tr, prov, nil, func() time.Time { return asOf })
+	reg := telemetry.NewRegistry()
+	history := tsdb.New(time.Hour)
+	scraper := telemetry.NewScraper(reg, history, telemetry.ScrapeOptions{})
+	slo, err := telemetry.NewSLO(history, reg, nil, telemetry.DefaultSLORules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := api.NewService(cfg, tr, prov, api.Options{
+		Now:       func() time.Time { return asOf },
+		Telemetry: reg,
+		History:   history,
+		SLO:       slo,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,11 +73,11 @@ func newTestServer(t *testing.T) *httptest.Server {
 	mux.Handle("/metrics", telemetry.Handler(svc.Metrics()))
 	srv := httptest.NewServer(mux)
 	t.Cleanup(srv.Close)
-	return srv
+	return srv, scraper
 }
 
 func TestCommands(t *testing.T) {
-	srv := newTestServer(t)
+	srv, _ := newTestServer(t)
 	base := []string{"-server", srv.URL}
 	ok := [][]string{
 		{"health"},
@@ -90,7 +105,7 @@ func TestCommands(t *testing.T) {
 }
 
 func TestCommandErrors(t *testing.T) {
-	srv := newTestServer(t)
+	srv, _ := newTestServer(t)
 	base := []string{"-server", srv.URL}
 	bad := [][]string{
 		{},                                       // no command
@@ -118,7 +133,7 @@ func TestCommandErrors(t *testing.T) {
 }
 
 func TestAsyncJobFlow(t *testing.T) {
-	srv := newTestServer(t)
+	srv, _ := newTestServer(t)
 	// Fire an async request, then poll the job until it resolves.
 	if err := run([]string{"-server", srv.URL, "perf", "word-count", "-rate", "10e6", "-sync=false"}); err != nil {
 		t.Fatalf("async submit: %v", err)

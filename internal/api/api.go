@@ -18,6 +18,8 @@
 //	GET  /api/v1/model/topology/{topology}/graph          topology graph analyses
 //	POST /api/v1/model/topology/{topology}/query          Gremlin-style graph query
 //	GET  /api/v1/jobs/{id}                                job status/result
+//	GET  /api/v1/query_range                              scraped telemetry history (see history.go)
+//	GET  /api/v1/alerts                                   SLO alert states (see history.go)
 package api
 
 import (
@@ -56,6 +58,8 @@ type Service struct {
 
 	tel         *telemetry.Registry
 	tracer      *telemetry.Tracer
+	history     *tsdb.DB
+	slo         *telemetry.SLO
 	httpInst    *httpInstruments
 	jobsRunning *telemetry.Gauge
 	jobsDone    *telemetry.Counter
@@ -85,6 +89,12 @@ type Options struct {
 	// Tracer records model-pipeline traces. Default: a fresh tracer
 	// retaining telemetry.DefaultMaxTraces traces.
 	Tracer *telemetry.Tracer
+	// History is the store the telemetry scraper appends into. Nil
+	// leaves /api/v1/query_range answering 404.
+	History *tsdb.DB
+	// SLO evaluates alert rules against History. Nil leaves
+	// /api/v1/alerts answering 404.
+	SLO *telemetry.SLO
 }
 
 // New builds a service. logger and now are optional; telemetry is
@@ -126,6 +136,8 @@ func NewService(cfg config.Config, tr *tracker.Tracker, provider metrics.Provide
 		now:         opts.Now,
 		tel:         reg,
 		tracer:      opts.Tracer,
+		history:     opts.History,
+		slo:         opts.SLO,
 		httpInst:    newHTTPInstruments(reg),
 		jobsRunning: reg.Gauge("caladrius_jobs_running", nil),
 		jobsDone:    reg.Counter("caladrius_jobs_completed_total", telemetry.Labels{"outcome": "done"}),
@@ -154,6 +166,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/api/v1/model/traffic/", s.handleTraffic)
 	mux.HandleFunc("/api/v1/model/topology/", s.handleTopology)
 	mux.HandleFunc("/api/v1/jobs/", s.handleJob)
+	mux.HandleFunc("/api/v1/query_range", s.handleQueryRange)
+	mux.HandleFunc("/api/v1/alerts", s.handleAlerts)
 	return instrument(mux, s.httpInst, s.logger)
 }
 

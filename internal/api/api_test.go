@@ -22,6 +22,12 @@ import (
 // saturated), registers the topology, and returns a service anchored at
 // the end of the simulated window.
 func testEnv(t *testing.T) (*Service, *httptest.Server, time.Time) {
+	return testEnvWith(t, Options{})
+}
+
+// testEnvWith is testEnv with explicit service options; a nil opts.Now
+// is anchored at the end of the simulated window.
+func testEnvWith(t *testing.T, opts Options) (*Service, *httptest.Server, time.Time) {
 	t.Helper()
 	sim, err := heron.NewWordCount(heron.WordCountOptions{
 		SplitterP: 3, CounterP: 8,
@@ -54,7 +60,10 @@ func testEnv(t *testing.T) (*Service, *httptest.Server, time.Time) {
 	cfg := config.Default()
 	cfg.CalibrationLookback = 40 * time.Minute
 	cfg.CalibrationWarmup = 3
-	svc, err := New(cfg, tr, provider, nil, func() time.Time { return asOf })
+	if opts.Now == nil {
+		opts.Now = func() time.Time { return asOf }
+	}
+	svc, err := NewService(cfg, tr, provider, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,209 @@
+package api
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"caladrius/internal/tsdb"
+)
+
+// Self-monitoring endpoints. The scraper (telemetry.Scraper) appends
+// the service's own registry into an embedded tsdb.DB; these handlers
+// expose that history (GET /api/v1/query_range) and the SLO
+// evaluator's alert states (GET /api/v1/alerts). Both answer 404 when
+// the service was built without a history store — self-monitoring is
+// opt-in.
+
+// reservedRangeParams are query_range parameters that are not label
+// matchers; every other query parameter becomes a label equality
+// selector (e.g. ?route=/api/v1/health or ?le=%2BInf).
+var reservedRangeParams = map[string]bool{
+	"metric": true, "start": true, "end": true, "window": true,
+	"step": true, "agg": true, "merge": true, "sync": true,
+}
+
+// RangePoint is one downsampled observation.
+type RangePoint struct {
+	T time.Time `json:"t"`
+	V float64   `json:"v"`
+}
+
+// QueryRangeResponse is the payload of GET /api/v1/query_range. Points
+// is empty (never null) when nothing matched — a dashboard polling an
+// idle series should not see errors.
+type QueryRangeResponse struct {
+	Metric   string       `json:"metric"`
+	Selector tsdb.Labels  `json:"selector,omitempty"`
+	Start    time.Time    `json:"start"`
+	End      time.Time    `json:"end"`
+	Step     string       `json:"step"`
+	Agg      string       `json:"agg"`
+	Merge    string       `json:"merge"`
+	Points   []RangePoint `json:"points"`
+}
+
+// AlertsResponse is the payload of GET /api/v1/alerts.
+type AlertsResponse struct {
+	Alerts []AlertJSON `json:"alerts"`
+}
+
+// AlertJSON mirrors telemetry.Alert for clients that decode the alerts
+// endpoint without importing the telemetry package.
+type AlertJSON struct {
+	Rule        string     `json:"rule"`
+	Description string     `json:"description,omitempty"`
+	State       string     `json:"state"`
+	Value       *float64   `json:"value,omitempty"`
+	Threshold   float64    `json:"threshold"`
+	Op          string     `json:"op"`
+	Window      string     `json:"window"`
+	Since       *time.Time `json:"since,omitempty"`
+	EvaluatedAt time.Time  `json:"evaluated_at"`
+}
+
+func validAgg(a tsdb.Agg) bool {
+	switch a {
+	case tsdb.AggSum, tsdb.AggMean, tsdb.AggMin, tsdb.AggMax,
+		tsdb.AggCount, tsdb.AggMedian, tsdb.AggLast:
+		return true
+	}
+	return false
+}
+
+// parseRangeTime accepts RFC3339(Nano) or unix seconds (fractions ok).
+func parseRangeTime(s string) (time.Time, error) {
+	if ts, err := time.Parse(time.RFC3339Nano, s); err == nil {
+		return ts, nil
+	}
+	if secs, err := strconv.ParseFloat(s, 64); err == nil && !math.IsNaN(secs) && !math.IsInf(secs, 0) {
+		sec, frac := math.Modf(secs)
+		return time.Unix(int64(sec), int64(frac*1e9)).UTC(), nil
+	}
+	return time.Time{}, fmt.Errorf("bad time %q (want RFC3339 or unix seconds)", s)
+}
+
+func (s *Service) handleQueryRange(w http.ResponseWriter, r *http.Request) {
+	if s.history == nil {
+		httpError(w, http.StatusNotFound, "self-monitoring disabled: service has no history store")
+		return
+	}
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	q := r.URL.Query()
+	metric := q.Get("metric")
+	if metric == "" {
+		httpError(w, http.StatusBadRequest, "missing metric parameter")
+		return
+	}
+	end := time.Now().UTC()
+	if v := q.Get("end"); v != "" {
+		var err error
+		if end, err = parseRangeTime(v); err != nil {
+			httpError(w, http.StatusBadRequest, "end: "+err.Error())
+			return
+		}
+	}
+	window := 15 * time.Minute
+	if v := q.Get("window"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad window %q", v))
+			return
+		}
+		window = d
+	}
+	start := end.Add(-window)
+	if v := q.Get("start"); v != "" {
+		var err error
+		if start, err = parseRangeTime(v); err != nil {
+			httpError(w, http.StatusBadRequest, "start: "+err.Error())
+			return
+		}
+	}
+	if !start.Before(end) {
+		httpError(w, http.StatusBadRequest, "start must precede end")
+		return
+	}
+	step := 30 * time.Second
+	if v := q.Get("step"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad step %q", v))
+			return
+		}
+		step = d
+	}
+	agg, merge := tsdb.AggMean, tsdb.AggSum
+	if v := q.Get("agg"); v != "" {
+		agg = tsdb.Agg(v)
+	}
+	if v := q.Get("merge"); v != "" {
+		merge = tsdb.Agg(v)
+	}
+	if !validAgg(agg) || !validAgg(merge) {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown aggregation %q/%q", agg, merge))
+		return
+	}
+	sel := tsdb.Labels{}
+	for k, vs := range q {
+		if !reservedRangeParams[k] && len(vs) > 0 {
+			sel[k] = vs[0]
+		}
+	}
+	resp := QueryRangeResponse{
+		Metric:   metric,
+		Selector: sel,
+		Start:    start,
+		End:      end,
+		Step:     step.String(),
+		Agg:      string(agg),
+		Merge:    string(merge),
+		Points:   []RangePoint{},
+	}
+	series, err := s.history.Downsample(metric, sel, start, end, step, agg, merge)
+	if err != nil && !errors.Is(err, tsdb.ErrNoData) {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	for _, p := range series.Points {
+		// Non-finite values would make json.Encode fail silently.
+		if math.IsNaN(p.V) || math.IsInf(p.V, 0) {
+			continue
+		}
+		resp.Points = append(resp.Points, RangePoint{T: p.T, V: p.V})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	if s.slo == nil {
+		httpError(w, http.StatusNotFound, "self-monitoring disabled: service has no SLO evaluator")
+		return
+	}
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	alerts := s.slo.Evaluate()
+	resp := AlertsResponse{Alerts: make([]AlertJSON, len(alerts))}
+	for i, a := range alerts {
+		resp.Alerts[i] = AlertJSON{
+			Rule:        a.Rule,
+			Description: a.Description,
+			State:       string(a.State),
+			Value:       a.Value,
+			Threshold:   a.Threshold,
+			Op:          a.Op,
+			Window:      a.Window,
+			Since:       a.Since,
+			EvaluatedAt: a.EvaluatedAt,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

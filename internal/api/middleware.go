@@ -3,6 +3,7 @@ package api
 import (
 	"log/slog"
 	"net/http"
+	"runtime/debug"
 	"strings"
 	"time"
 
@@ -26,13 +27,16 @@ const (
 	routeQuery       = "/api/v1/model/topology/{topology}/query"
 	routeJob         = "/api/v1/jobs/{id}"
 	routeJobTrace    = "/api/v1/jobs/{id}/trace"
+	routeQueryRange  = "/api/v1/query_range"
+	routeAlerts      = "/api/v1/alerts"
 	routeOther       = "other"
 )
 
 var allRoutes = []string{
 	routeHealth, routeModels, routeTraffic, routeRank,
 	routePerformance, routeSuggest, routeCalibrate, routeModel,
-	routeGraph, routeQuery, routeJob, routeJobTrace, routeOther,
+	routeGraph, routeQuery, routeJob, routeJobTrace,
+	routeQueryRange, routeAlerts, routeOther,
 }
 
 // routePattern maps a concrete request path to its route pattern
@@ -43,6 +47,10 @@ func routePattern(path string) string {
 		return routeHealth
 	case routeModels:
 		return routeModels
+	case routeQueryRange:
+		return routeQueryRange
+	case routeAlerts:
+		return routeAlerts
 	}
 	if rest, ok := strings.CutPrefix(path, "/api/v1/model/traffic/"); ok {
 		name, action, hasAction := strings.Cut(rest, "/")
@@ -105,6 +113,7 @@ type routeInstruments struct {
 
 type httpInstruments struct {
 	inFlight *telemetry.Gauge
+	panics   *telemetry.Counter
 	routes   map[string]*routeInstruments
 }
 
@@ -113,8 +122,10 @@ func newHTTPInstruments(reg *telemetry.Registry) *httpInstruments {
 	reg.SetHelp("caladrius_http_request_duration_seconds", "Request latency, by route pattern.")
 	reg.SetHelp("caladrius_http_response_bytes_total", "Response body bytes written, by route pattern.")
 	reg.SetHelp("caladrius_http_in_flight_requests", "Requests currently being served.")
+	reg.SetHelp("caladrius_http_panics_total", "Handler panics recovered by the middleware.")
 	h := &httpInstruments{
 		inFlight: reg.Gauge("caladrius_http_in_flight_requests", nil),
+		panics:   reg.Counter("caladrius_http_panics_total", nil),
 		routes:   make(map[string]*routeInstruments, len(allRoutes)),
 	}
 	for _, route := range allRoutes {
@@ -131,19 +142,27 @@ func newHTTPInstruments(reg *telemetry.Registry) *httpInstruments {
 }
 
 // statusRecorder captures the status code and body size a handler
-// writes.
+// writes. wroteHeader distinguishes "handler never responded" (the
+// panic-recovery path may still send a 500) from "panicked mid-body"
+// (too late — the status is already on the wire).
 type statusRecorder struct {
 	http.ResponseWriter
-	status int
-	bytes  int
+	status      int
+	bytes       int
+	wroteHeader bool
 }
 
 func (r *statusRecorder) WriteHeader(status int) {
+	if r.wroteHeader {
+		return // mirror net/http's superfluous-WriteHeader guard
+	}
 	r.status = status
+	r.wroteHeader = true
 	r.ResponseWriter.WriteHeader(status)
 }
 
 func (r *statusRecorder) Write(p []byte) (int, error) {
+	r.wroteHeader = true
 	n, err := r.ResponseWriter.Write(p)
 	r.bytes += n
 	return n, err
@@ -152,32 +171,51 @@ func (r *statusRecorder) Write(p []byte) (int, error) {
 // instrument wraps next with request telemetry and the structured
 // access log: per-route request counters by status class, latency
 // histograms, response-byte counters, an in-flight gauge, and one log
-// line per request on the service logger.
+// line per request on the service logger. A panicking handler is
+// recovered here — the client gets a JSON 500 (when the header is
+// still unsent), the stack goes to the logger, and the request still
+// lands in every instrument so panic spikes show up in the history.
 func instrument(next http.Handler, inst *httpInstruments, logger *slog.Logger) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		inst.inFlight.Inc()
 		rec := statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		next.ServeHTTP(&rec, r)
-		inst.inFlight.Dec()
+		defer func() {
+			if v := recover(); v != nil {
+				inst.panics.Inc()
+				logger.Error("handler panic",
+					"method", r.Method,
+					"path", r.URL.Path,
+					"panic", v,
+					"stack", string(debug.Stack()),
+				)
+				if !rec.wroteHeader {
+					httpError(&rec, http.StatusInternalServerError, "internal server error")
+				} else {
+					rec.status = http.StatusInternalServerError
+				}
+			}
+			inst.inFlight.Dec()
 
-		elapsed := time.Since(start)
-		route := routePattern(r.URL.Path)
-		ri := inst.routes[route]
-		idx := rec.status/100 - 1
-		if idx < 0 || idx >= len(ri.requests) {
-			idx = 4
-		}
-		ri.requests[idx].Inc()
-		ri.latency.Observe(elapsed.Seconds())
-		ri.bytes.Add(float64(rec.bytes))
-		logger.Info("http request",
-			"method", r.Method,
-			"route", route,
-			"path", r.URL.Path,
-			"status", rec.status,
-			"bytes", rec.bytes,
-			"duration_ms", float64(elapsed)/float64(time.Millisecond),
-		)
+			elapsed := time.Since(start)
+			route := routePattern(r.URL.Path)
+			ri := inst.routes[route]
+			idx := rec.status/100 - 1
+			if idx < 0 || idx >= len(ri.requests) {
+				idx = 4
+			}
+			ri.requests[idx].Inc()
+			ri.latency.Observe(elapsed.Seconds())
+			ri.bytes.Add(float64(rec.bytes))
+			logger.Info("http request",
+				"method", r.Method,
+				"route", route,
+				"path", r.URL.Path,
+				"status", rec.status,
+				"bytes", rec.bytes,
+				"duration_ms", float64(elapsed)/float64(time.Millisecond),
+			)
+		}()
+		next.ServeHTTP(&rec, r)
 	})
 }

@@ -29,6 +29,8 @@ func TestRoutePattern(t *testing.T) {
 		"/api/v1/jobs/job-1/trace":                      routeJobTrace,
 		"/api/v1/jobs/job-1/bogus":                      routeOther,
 		"/api/v1/jobs/":                                 routeOther,
+		"/api/v1/query_range":                           routeQueryRange,
+		"/api/v1/alerts":                                routeAlerts,
 		"/somewhere/else":                               routeOther,
 	}
 	for path, want := range cases {

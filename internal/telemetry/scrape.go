@@ -1,0 +1,289 @@
+package telemetry
+
+import (
+	"context"
+	"strconv"
+	"sync"
+	"time"
+
+	"caladrius/internal/tsdb"
+)
+
+// Scraper periodically walks a Registry and appends every instrument
+// into an embedded tsdb.DB, turning the point-in-time /metrics snapshot
+// into queryable history — the same Cuckoo-style substrate the paper's
+// models consume (§IV), dogfooded for the service's own telemetry.
+//
+// What gets appended per scrape, stamped at the scrape time:
+//
+//   - counters: the running total under the metric name, plus a derived
+//     per-second rate under "<name>:rate" (from the second scrape on;
+//     counter resets clamp to a restart-from-zero rate).
+//   - gauges: the current value under the metric name.
+//   - histograms: "<name>_count", "<name>_sum" and one cumulative
+//     "<name>_bucket" series per bound with an extra `le` label, plus
+//     derived per-interval quantile gauges under "<name>:p50" /
+//     "<name>:p95" / "<name>:p99" (configurable), interpolated from the
+//     bucket increase since the previous scrape — the windowed latency
+//     series dashboards and SLO rules want.
+//
+// The scraper registers its own instruments (scrape runs, samples
+// appended, last duration, retained points) into the same registry, so
+// the pipeline observes itself.
+type Scraper struct {
+	reg       *Registry
+	db        *tsdb.DB
+	interval  time.Duration
+	now       func() time.Time
+	quantiles []float64
+
+	mu           sync.Mutex
+	lastScrape   time.Time
+	prevCounters map[string]float64
+	prevBuckets  map[string][]float64
+	collectors   []func()
+	afterScrape  []func(time.Time)
+
+	runs    *Counter
+	samples *Counter
+	lastDur *Gauge
+	points  *Gauge
+}
+
+// ScrapeOptions configures a Scraper.
+type ScrapeOptions struct {
+	// Interval is the scrape period for Run. Default: 5s.
+	Interval time.Duration
+	// Now stamps scrape times in Run. Default: time.Now.
+	Now func() time.Time
+	// Quantiles are the per-interval histogram quantiles to derive.
+	// Default: 0.5, 0.95, 0.99. Each must lie in (0, 1).
+	Quantiles []float64
+}
+
+// NewScraper builds a scraper from reg into db. It panics on a
+// quantile outside (0, 1) — a programming error, like a bad bucket
+// layout.
+func NewScraper(reg *Registry, db *tsdb.DB, opts ScrapeOptions) *Scraper {
+	if reg == nil || db == nil {
+		panic("telemetry: scraper needs a registry and a history db")
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = 5 * time.Second
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	if opts.Quantiles == nil {
+		opts.Quantiles = []float64{0.5, 0.95, 0.99}
+	}
+	for _, q := range opts.Quantiles {
+		if q <= 0 || q >= 1 {
+			panic("telemetry: scrape quantile outside (0, 1)")
+		}
+	}
+	reg.SetHelp("caladrius_scrape_runs_total", "Self-monitoring scrape cycles completed.")
+	reg.SetHelp("caladrius_scrape_samples_total", "Samples appended into the history store.")
+	reg.SetHelp("caladrius_scrape_last_duration_seconds", "Wall-clock cost of the most recent scrape.")
+	reg.SetHelp("caladrius_history_points", "Points retained in the history store after the last scrape.")
+	return &Scraper{
+		reg:          reg,
+		db:           db,
+		interval:     opts.Interval,
+		now:          opts.Now,
+		quantiles:    opts.Quantiles,
+		prevCounters: map[string]float64{},
+		prevBuckets:  map[string][]float64{},
+		runs:         reg.Counter("caladrius_scrape_runs_total", nil),
+		samples:      reg.Counter("caladrius_scrape_samples_total", nil),
+		lastDur:      reg.Gauge("caladrius_scrape_last_duration_seconds", nil),
+		points:       reg.Gauge("caladrius_history_points", nil),
+	}
+}
+
+// Interval returns the configured scrape period.
+func (s *Scraper) Interval() time.Duration { return s.interval }
+
+// AddCollector registers fn to run at the start of every scrape, for
+// pull-style sources that refresh gauges on demand (see
+// RegisterRuntime).
+func (s *Scraper) AddCollector(fn func()) {
+	s.mu.Lock()
+	s.collectors = append(s.collectors, fn)
+	s.mu.Unlock()
+}
+
+// AfterScrape registers fn to run after every scrape with the scrape
+// timestamp — the hook the SLO evaluator uses to re-check rules on
+// fresh data.
+func (s *Scraper) AfterScrape(fn func(time.Time)) {
+	s.mu.Lock()
+	s.afterScrape = append(s.afterScrape, fn)
+	s.mu.Unlock()
+}
+
+// QuantileSeries names the derived quantile series the scraper appends
+// for a histogram, e.g. QuantileSeries("x_seconds", 0.95) = "x_seconds:p95".
+func QuantileSeries(name string, q float64) string {
+	return name + ":p" + strconv.FormatFloat(q*100, 'g', -1, 64)
+}
+
+// ScrapeOnce performs one scrape stamped at t and reports how many
+// samples were appended. Exposed so tests and shutdown paths can force
+// a deterministic scrape.
+func (s *Scraper) ScrapeOnce(t time.Time) int {
+	begin := time.Now()
+	s.mu.Lock()
+	for _, c := range s.collectors {
+		c()
+	}
+	snap := s.reg.Snapshot()
+	var dt float64
+	if !s.lastScrape.IsZero() {
+		dt = t.Sub(s.lastScrape).Seconds()
+	}
+	n := 0
+	for _, fam := range snap {
+		for _, ser := range fam.Series {
+			key := fam.Name + "{" + labelSig(ser.Labels) + "}"
+			switch fam.Type {
+			case "counter":
+				v := *ser.Value
+				s.db.Append(fam.Name, scrapeLabels(ser.Labels, "", ""), t, v)
+				n++
+				if prev, ok := s.prevCounters[key]; ok && dt > 0 {
+					if v < prev { // counter reset: rate restarts from zero
+						prev = 0
+					}
+					s.db.Append(fam.Name+":rate", scrapeLabels(ser.Labels, "", ""), t, (v-prev)/dt)
+					n++
+				}
+				s.prevCounters[key] = v
+			case "gauge":
+				s.db.Append(fam.Name, scrapeLabels(ser.Labels, "", ""), t, *ser.Value)
+				n++
+			case "histogram":
+				cum := make([]float64, len(ser.Buckets))
+				bounds := make([]float64, len(ser.Buckets))
+				for i, b := range ser.Buckets {
+					cum[i] = float64(b.Count)
+					bounds[i] = b.LE
+					le := formatFloat(b.LE)
+					if b.LE > 1e300 {
+						le = "+Inf"
+					}
+					s.db.Append(fam.Name+"_bucket", scrapeLabels(ser.Labels, "le", le), t, cum[i])
+					n++
+				}
+				s.db.Append(fam.Name+"_count", scrapeLabels(ser.Labels, "", ""), t, float64(*ser.Count))
+				s.db.Append(fam.Name+"_sum", scrapeLabels(ser.Labels, "", ""), t, *ser.Sum)
+				n += 2
+				n += s.appendQuantiles(fam.Name, ser.Labels, key, bounds, cum, t)
+				s.prevBuckets[key] = cum
+			}
+		}
+	}
+	s.lastScrape = t
+	hooks := make([]func(time.Time), len(s.afterScrape))
+	copy(hooks, s.afterScrape)
+	s.mu.Unlock()
+
+	s.runs.Inc()
+	s.samples.Add(float64(n))
+	s.lastDur.Set(time.Since(begin).Seconds())
+	s.points.Set(float64(s.db.TotalPoints()))
+	for _, h := range hooks {
+		h(t)
+	}
+	return n
+}
+
+// appendQuantiles derives the per-interval quantile points of one
+// histogram series from the bucket increase since the previous scrape.
+// Caller holds s.mu.
+func (s *Scraper) appendQuantiles(name string, labels Labels, key string, bounds, cum []float64, t time.Time) int {
+	prev, ok := s.prevBuckets[key]
+	if !ok || len(prev) != len(cum) {
+		return 0
+	}
+	inc := make([]float64, len(cum))
+	for i := range cum {
+		d := cum[i] - prev[i]
+		if d < 0 { // histogram reset: skip this interval
+			return 0
+		}
+		inc[i] = d
+		if i > 0 && inc[i] < inc[i-1] { // guard against atomic-read skew
+			inc[i] = inc[i-1]
+		}
+	}
+	if inc[len(inc)-1] <= 0 { // nothing observed this interval
+		return 0
+	}
+	n := 0
+	for _, q := range s.quantiles {
+		v := estimateQuantile(bounds, inc, q)
+		s.db.Append(QuantileSeries(name, q), scrapeLabels(labels, "", ""), t, v)
+		n++
+	}
+	return n
+}
+
+// estimateQuantile interpolates the q-quantile from cumulative bucket
+// counts with upper bounds — the histogram_quantile estimate. A rank
+// landing in the +Inf bucket reports the highest finite bound.
+func estimateQuantile(bounds, cum []float64, q float64) float64 {
+	if len(cum) == 0 {
+		return 0
+	}
+	total := cum[len(cum)-1]
+	if total <= 0 {
+		return 0
+	}
+	rank := q * total
+	lo, below := 0.0, 0.0
+	for i, c := range cum {
+		if c >= rank {
+			if bounds[i] > 1e300 {
+				return lo
+			}
+			span := c - below
+			if span <= 0 {
+				return lo
+			}
+			return lo + (bounds[i]-lo)*(rank-below)/span
+		}
+		lo, below = bounds[i], c
+	}
+	return lo
+}
+
+// scrapeLabels converts registry labels to tsdb labels, optionally
+// attaching one extra pair (the bucket `le`).
+func scrapeLabels(l Labels, extraKey, extraVal string) tsdb.Labels {
+	if len(l) == 0 && extraKey == "" {
+		return nil
+	}
+	out := make(tsdb.Labels, len(l)+1)
+	for k, v := range l {
+		out[k] = v
+	}
+	if extraKey != "" {
+		out[extraKey] = extraVal
+	}
+	return out
+}
+
+// Run scrapes every Interval until ctx is cancelled.
+func (s *Scraper) Run(ctx context.Context) {
+	tick := time.NewTicker(s.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			s.ScrapeOnce(s.now())
+		}
+	}
+}

@@ -79,6 +79,31 @@ func TestTracerOpenSpanAndEviction(t *testing.T) {
 	}
 }
 
+// TestTracerFIFOEvictionAtDefaultCapacity fills a default-capacity
+// tracer past its bound and checks strict FIFO eviction: the store
+// never exceeds DefaultMaxTraces, the oldest traces are gone, and the
+// most recent ones all survive.
+func TestTracerFIFOEvictionAtDefaultCapacity(t *testing.T) {
+	tr := NewTracer(0, fakeClock(time.Microsecond))
+	total := DefaultMaxTraces + 50
+	for i := 0; i < total; i++ {
+		tr.Start(fmt.Sprintf("t-%d", i), "w").End()
+	}
+	if got := tr.Len(); got != DefaultMaxTraces {
+		t.Fatalf("retained = %d, want %d", got, DefaultMaxTraces)
+	}
+	for i := 0; i < 50; i++ {
+		if _, ok := tr.Snapshot(fmt.Sprintf("t-%d", i)); ok {
+			t.Fatalf("trace t-%d should have been evicted", i)
+		}
+	}
+	for _, i := range []int{50, total / 2, total - 1} {
+		if _, ok := tr.Snapshot(fmt.Sprintf("t-%d", i)); !ok {
+			t.Errorf("trace t-%d missing", i)
+		}
+	}
+}
+
 func TestNilSpanSafety(t *testing.T) {
 	var s *Span
 	s.End()

@@ -106,6 +106,15 @@ func New(retention time.Duration) *DB {
 	}
 }
 
+// SetRetention changes the retention window. d ≤ 0 keeps points
+// forever. Existing points are pruned lazily by subsequent writes to
+// their series, like any retention expiry.
+func (db *DB) SetRetention(d time.Duration) {
+	db.mu.Lock()
+	db.retention = d
+	db.mu.Unlock()
+}
+
 // Append records one observation.
 func (db *DB) Append(metric string, labels Labels, t time.Time, v float64) {
 	if metric == "" {

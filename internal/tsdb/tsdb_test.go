@@ -111,6 +111,39 @@ func TestRetention(t *testing.T) {
 	}
 }
 
+func TestSetRetention(t *testing.T) {
+	db := New(0)
+	l := Labels{"i": "0"}
+	for i := 0; i < 100; i++ {
+		db.Append("m", l, minuteAt(i), float64(i))
+	}
+	if got := db.TotalPoints(); got != 100 {
+		t.Fatalf("points before retention = %d, want 100", got)
+	}
+	// Tightening retention prunes on the next write to the series —
+	// the path cmd/caladrius takes after restoring a -history-file
+	// snapshot saved under a different retention setting.
+	db.SetRetention(10 * time.Minute)
+	db.Append("m", l, minuteAt(100), 100)
+	got, err := db.Query("m", nil, minuteAt(0), minuteAt(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := got[0].Points
+	if len(pts) != 11 {
+		t.Fatalf("retained %d points, want 11", len(pts))
+	}
+	if pts[0].V != 90 {
+		t.Errorf("oldest retained = %g, want 90", pts[0].V)
+	}
+	// Loosening back to forever stops further pruning.
+	db.SetRetention(0)
+	db.Append("m", l, minuteAt(101), 101)
+	if got := db.TotalPoints(); got != 12 {
+		t.Errorf("points after disabling retention = %d, want 12", got)
+	}
+}
+
 func TestAggregations(t *testing.T) {
 	db := New(0)
 	for i, v := range []float64{1, 2, 3, 4, 5} {
@@ -262,6 +295,45 @@ func TestConcurrentAppendQuery(t *testing.T) {
 	wg.Wait()
 	if got := db.TotalPoints(); got != 8*500 {
 		t.Errorf("points = %d, want %d", got, 8*500)
+	}
+}
+
+// TestConcurrentAppendDownsampleWithRetention exercises the scraper's
+// live shape under the race detector: writers appending into a store
+// with active retention pruning while readers downsample and
+// aggregate the same metric.
+func TestConcurrentAppendDownsampleWithRetention(t *testing.T) {
+	db := New(30 * time.Minute)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			l := Labels{"instance": string(rune('0' + w))}
+			for i := 0; i < 300; i++ {
+				db.Append("m", l, minuteAt(i), float64(i))
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				db.Downsample("m", nil, minuteAt(0), minuteAt(300), 5*time.Minute, AggMean, AggSum) //nolint:errcheck
+				db.Aggregate("m", nil, minuteAt(0), minuteAt(300), AggMax)                          //nolint:errcheck
+				db.TotalPoints()
+			}
+		}()
+	}
+	wg.Wait()
+	// Retention kept only the trailing 30 minutes of each series.
+	got, err := db.Query("m", Labels{"instance": "0"}, minuteAt(0), minuteAt(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(got[0].Points); n != 31 {
+		t.Errorf("retained %d points, want 31", n)
 	}
 }
 

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Full verification recipe: build, static checks, the whole test
+# suite, then the race detector over the concurrency-heavy packages
+# (the scraper/SLO pipeline, the instrumented API and the TSDB).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go build ./...
+go vet ./...
+go test ./...
+go test -race ./internal/telemetry ./internal/api ./internal/tsdb
+echo "verify: all checks passed"
