@@ -114,6 +114,26 @@ func BenchmarkAblationSchedulerPlans(b *testing.B) {
 	runFigure(b, "ablation-schedulers", experiments.AblationSchedulerPlans)
 }
 
+// BenchmarkSweepParallel pits the sweep engine's worker pool against
+// the sequential path on the same multi-rate figure (Fig. 4: 20 rate
+// points × 5 repeats = 100 independent simulations). The outputs are
+// byte-identical; only the wall clock differs, by up to min(8,
+// GOMAXPROCS)× on unloaded hardware. scripts/bench.sh records both
+// timings in BENCH_core.json.
+func benchSweepParallel(b *testing.B, parallelism int) {
+	b.Helper()
+	sweep := benchSweep
+	sweep.Parallelism = parallelism
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig04InstanceThroughput(sweep); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweepParallel1(b *testing.B) { benchSweepParallel(b, 1) }
+func BenchmarkSweepParallel8(b *testing.B) { benchSweepParallel(b, 8) }
+
 // --- micro-benchmarks -----------------------------------------------------
 
 // BenchmarkSimulatorMinute measures the cost of simulating one minute
@@ -123,6 +143,7 @@ func BenchmarkSimulatorMinute(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := sim.Run(time.Minute); err != nil {
@@ -178,14 +199,31 @@ func BenchmarkProphetFit(b *testing.B) {
 	}
 }
 
-// BenchmarkTSDBAppend measures raw metric ingestion.
+// BenchmarkTSDBAppend measures raw metric ingestion through the
+// label-map API: every call canonicalises the label set and resolves
+// the series through two map lookups.
 func BenchmarkTSDBAppend(b *testing.B) {
 	db := tsdb.New(0)
 	labels := tsdb.Labels{"topology": "wc", "component": "splitter", "instance": "0"}
 	t0 := time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		db.Append("execute-count", labels, t0.Add(time.Duration(i)*time.Minute), float64(i))
+	}
+}
+
+// BenchmarkTSDBAppendHandle measures the same ingestion through an
+// interned series handle, the simulator's flush path: the label work
+// happens once at Handle time.
+func BenchmarkTSDBAppendHandle(b *testing.B) {
+	db := tsdb.New(0)
+	h := db.Handle("execute-count", tsdb.Labels{"topology": "wc", "component": "splitter", "instance": "0"})
+	t0 := time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Append(t0.Add(time.Duration(i)*time.Minute), float64(i))
 	}
 }
 

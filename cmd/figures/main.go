@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	figures [-only fig04,fig10] [-out results/] [-accurate]
+//	figures [-only fig04,fig10] [-out results/] [-accurate] [-parallel N]
 package main
 
 import (
@@ -29,12 +29,14 @@ func run() error {
 	only := flag.String("only", "", "comma-separated experiment names (fig04..fig12, traffic, dhalion)")
 	out := flag.String("out", "", "directory to write CSV files into")
 	accurate := flag.Bool("accurate", false, "longer runs and finer ticks for tighter averages")
+	parallel := flag.Int("parallel", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = sequential; output is identical at any setting)")
 	flag.Parse()
 
 	sweep := experiments.DefaultSweep
 	if *accurate {
 		sweep = experiments.SweepOptions{WarmupMinutes: 8, MeasureMinutes: 10, Tick: 50 * time.Millisecond}
 	}
+	sweep.Parallelism = *parallel
 
 	runners := map[string]func() (experiments.Table, error){
 		"fig04":                func() (experiments.Table, error) { return experiments.Fig04InstanceThroughput(sweep) },

@@ -68,16 +68,22 @@ func AblationWatermarkGap(sweep SweepOptions) (Table, error) {
 		}
 		return sum / float64(len(pts)), nil
 	}
+	// One task per (config, below/above-SP rate) pair; the shared
+	// topology is immutable and every task builds its own simulation.
+	vals, err := RunPoints(sweep, len(configs)*2, func(i int) (float64, error) {
+		cfg := configs[i/2]
+		rate := 8e6 // below SP (10.8M)
+		if i%2 == 1 {
+			rate = 15e6 // above SP
+		}
+		return run(cfg.high, cfg.low, rate)
+	})
+	if err != nil {
+		return t, err
+	}
 	bimodalEverywhere := true
-	for _, cfg := range configs {
-		below, err := run(cfg.high, cfg.low, 8e6) // below SP (10.8M)
-		if err != nil {
-			return t, err
-		}
-		above, err := run(cfg.high, cfg.low, 15e6) // above SP
-		if err != nil {
-			return t, err
-		}
+	for ci, cfg := range configs {
+		below, above := vals[2*ci], vals[2*ci+1]
 		t.Rows = append(t.Rows, []float64{cfg.high / 1e6, cfg.low / 1e6, below, above})
 		if below > 1000 || above < 45_000 {
 			bimodalEverywhere = false
@@ -159,25 +165,33 @@ func AblationNoiseVsError(sweep SweepOptions) (Table, error) {
 		Title:   "ST prediction error vs per-deployment capacity variation",
 		Columns: []string{"noise_std_pct", "p2_st_error_pct", "p4_st_error_pct"},
 	}
-	for _, sigma := range []float64{0.005, 0.015, 0.03, 0.06} {
+	// Each noise level is an independent calibrate-and-validate chain;
+	// fan the levels out, and let the nested calibration/measure calls
+	// share the pool settings.
+	sigmas := []float64{0.005, 0.015, 0.03, 0.06}
+	rows, err := RunPoints(sweep, len(sigmas), func(i int) ([]float64, error) {
 		s := sweep
-		s.NoiseStd = sigma
+		s.NoiseStd = sigmas[i]
 		models, err := calibrateSplitter(3, 8, 20e6, 48e6, s)
 		if err != nil {
-			return t, err
+			return nil, err
 		}
 		splitter := models["splitter"]
-		row := []float64{100 * sigma}
+		row := []float64{100 * sigmas[i]}
 		for _, p := range []int{2, 4} {
 			rate := splitter.SaturationSource(p) * 1.5
 			m, err := measureCI(heron.WordCountOptions{SplitterP: p, CounterP: 8, RatePerMinute: rate}, s, "splitter")
 			if err != nil {
-				return t, err
+				return nil, err
 			}
 			row = append(row, 100*relErr(splitter.MaxOutput(p), m.Emit))
 		}
-		t.Rows = append(t.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return t, err
 	}
+	t.Rows = append(t.Rows, rows...)
 	first, last := t.Rows[0], t.Rows[len(t.Rows)-1]
 	t.Findings = append(t.Findings,
 		fmt.Sprintf("error grows with deployment variation: %.1f%%/%.1f%% at σ=%.1f%% → %.1f%%/%.1f%% at σ=%.0f%%",

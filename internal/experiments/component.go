@@ -27,11 +27,15 @@ func Fig07ComponentModel(sweep SweepOptions) (Table, error) {
 		return t, err
 	}
 	splitter := models["splitter"]
-	for rate := 2e6; rate <= 68e6; rate += 6e6 {
-		m, err := measureCI(heron.WordCountOptions{SplitterP: 3, CounterP: 8, RatePerMinute: rate}, sweep, "splitter")
-		if err != nil {
-			return t, err
-		}
+	rates := rateGrid(2e6, 68e6, 6e6)
+	ms, err := RunPoints(sweep, len(rates), func(i int) (measuredCI, error) {
+		return measureCI(heron.WordCountOptions{SplitterP: 3, CounterP: 8, RatePerMinute: rates[i]}, sweep, "splitter")
+	})
+	if err != nil {
+		return t, err
+	}
+	for i, rate := range rates {
+		m := ms[i]
 		t.Rows = append(t.Rows, []float64{
 			rate / 1e6,
 			m.Exec / 1e6, m.ExecLo / 1e6, m.ExecHi / 1e6,
@@ -71,13 +75,20 @@ func Fig08ComponentValidation(sweep SweepOptions) (Table, error) {
 	splitter := models["splitter"]
 	type satPair struct{ meas, pred float64 }
 	satOut := map[int]*satPair{2: {}, 4: {}}
-	for rate := 4e6; rate <= 68e6; rate += 8e6 {
+	rates := rateGrid(4e6, 68e6, 8e6)
+	ps := []int{2, 4}
+	// One task per (rate, parallelism) pair, flattened rate-major so the
+	// collection order matches the nested sequential loops.
+	ms, err := RunPoints(sweep, len(rates)*len(ps), func(i int) (measuredCI, error) {
+		return measureCI(heron.WordCountOptions{SplitterP: ps[i%len(ps)], CounterP: 8, RatePerMinute: rates[i/len(ps)]}, sweep, "splitter")
+	})
+	if err != nil {
+		return t, err
+	}
+	for ri, rate := range rates {
 		row := []float64{rate / 1e6}
-		for _, p := range []int{2, 4} {
-			m, err := measureCI(heron.WordCountOptions{SplitterP: p, CounterP: 8, RatePerMinute: rate}, sweep, "splitter")
-			if err != nil {
-				return t, err
-			}
+		for pi, p := range ps {
+			m := ms[ri*len(ps)+pi]
 			pred := splitter.Output(p, rate)
 			row = append(row, m.Emit/1e6, pred/1e6)
 			if rate >= splitter.SaturationSource(p)*1.2 {
@@ -119,16 +130,17 @@ func Fig09CounterModel(sweep SweepOptions) (Table, error) {
 	}
 	counter := models["counter"]
 	alpha := heron.SplitterAlpha
-	for sentences := 4e6; sentences <= 64e6; sentences += 6e6 {
+	rates := rateGrid(4e6, 64e6, 6e6)
+	counterPs := []int{3, 4}
+	ms, err := RunPoints(sweep, len(rates)*2, func(i int) (measuredCI, error) {
+		return measureCI(heron.WordCountOptions{SplitterP: 8, CounterP: counterPs[i%2], RatePerMinute: rates[i/2]}, sweep, "counter")
+	})
+	if err != nil {
+		return t, err
+	}
+	for i, sentences := range rates {
 		counterSource := sentences * alpha
-		p3, err := measureCI(heron.WordCountOptions{SplitterP: 8, CounterP: 3, RatePerMinute: sentences}, sweep, "counter")
-		if err != nil {
-			return t, err
-		}
-		p4, err := measureCI(heron.WordCountOptions{SplitterP: 8, CounterP: 4, RatePerMinute: sentences}, sweep, "counter")
-		if err != nil {
-			return t, err
-		}
+		p3, p4 := ms[2*i], ms[2*i+1]
 		t.Rows = append(t.Rows, []float64{
 			counterSource / 1e6,
 			p3.Exec / 1e6,
@@ -170,17 +182,31 @@ func Fig10CriticalPath(sweep SweepOptions) (Table, error) {
 		return t, err
 	}
 	var satPred, satMeas float64
-	for rate := 4e6; rate <= 68e6; rate += 8e6 {
-		pred, err := tm.Predict(nil, rate)
+	rates := rateGrid(4e6, 68e6, 8e6)
+	type pointRes struct {
+		sinkIn float64
+		meas   measuredCI
+	}
+	// Each task pairs the model's dry-run evaluation with the deployed
+	// measurement it is validated against; TopologyModel.Predict is
+	// read-only, so the shared model is safe across workers.
+	ms, err := RunPoints(sweep, len(rates), func(i int) (pointRes, error) {
+		pred, err := tm.Predict(nil, rates[i])
 		if err != nil {
-			return t, err
+			return pointRes{}, err
 		}
 		// The topology's output is the sink's processing throughput.
-		sinkIn := pred.SinkThroughput
-		m, err := measureCI(heron.WordCountOptions{SpoutP: 2, SplitterP: 2, CounterP: 4, RatePerMinute: rate}, sweep, "counter")
+		m, err := measureCI(heron.WordCountOptions{SpoutP: 2, SplitterP: 2, CounterP: 4, RatePerMinute: rates[i]}, sweep, "counter")
 		if err != nil {
-			return t, err
+			return pointRes{}, err
 		}
+		return pointRes{sinkIn: pred.SinkThroughput, meas: m}, nil
+	})
+	if err != nil {
+		return t, err
+	}
+	for i, rate := range rates {
+		sinkIn, m := ms[i].sinkIn, ms[i].meas
 		t.Rows = append(t.Rows, []float64{rate / 1e6, sinkIn / 1e6, m.Exec / 1e6})
 		if rate >= 40e6 {
 			satPred, satMeas = sinkIn, m.Exec
@@ -213,11 +239,14 @@ func Fig11CPULoad(sweep SweepOptions) (Table, error) {
 	if splitter.CPUPsi <= 0 {
 		return t, fmt.Errorf("fig11: ψ not calibrated")
 	}
-	for rate := 4e6; rate <= 68e6; rate += 8e6 {
-		m, err := measureCI(heron.WordCountOptions{SplitterP: 3, CounterP: 8, RatePerMinute: rate}, sweep, "splitter")
-		if err != nil {
-			return t, err
-		}
+	rates := rateGrid(4e6, 68e6, 8e6)
+	ms, err := RunPoints(sweep, len(rates), func(i int) (measuredCI, error) {
+		return measureCI(heron.WordCountOptions{SplitterP: 3, CounterP: 8, RatePerMinute: rates[i]}, sweep, "splitter")
+	})
+	if err != nil {
+		return t, err
+	}
+	for i, rate := range rates {
 		p2, err := splitter.CPU(2, rate)
 		if err != nil {
 			return t, err
@@ -226,7 +255,7 @@ func Fig11CPULoad(sweep SweepOptions) (Table, error) {
 		if err != nil {
 			return t, err
 		}
-		t.Rows = append(t.Rows, []float64{rate / 1e6, m.CPU, p2, p4})
+		t.Rows = append(t.Rows, []float64{rate / 1e6, ms[i].CPU, p2, p4})
 	}
 	t.Findings = append(t.Findings,
 		fmt.Sprintf("ψ = %.3g cores per (tuple/min); CPU is linear in input rate, saturating with throughput", splitter.CPUPsi),
@@ -253,13 +282,18 @@ func Fig12CPUValidation(sweep SweepOptions) (Table, error) {
 	}
 	splitter := models["splitter"]
 	worst := map[int]float64{}
-	for rate := 4e6; rate <= 68e6; rate += 8e6 {
+	rates := rateGrid(4e6, 68e6, 8e6)
+	ps := []int{2, 4}
+	ms, err := RunPoints(sweep, len(rates)*len(ps), func(i int) (measuredCI, error) {
+		return measureCI(heron.WordCountOptions{SplitterP: ps[i%len(ps)], CounterP: 8, RatePerMinute: rates[i/len(ps)]}, sweep, "splitter")
+	})
+	if err != nil {
+		return t, err
+	}
+	for ri, rate := range rates {
 		row := []float64{rate / 1e6}
-		for _, p := range []int{2, 4} {
-			m, err := measureCI(heron.WordCountOptions{SplitterP: p, CounterP: 8, RatePerMinute: rate}, sweep, "splitter")
-			if err != nil {
-				return t, err
-			}
+		for pi, p := range ps {
+			m := ms[ri*len(ps)+pi]
 			pred, err := splitter.CPU(p, rate)
 			if err != nil {
 				return t, err

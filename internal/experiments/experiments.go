@@ -87,6 +87,10 @@ type SweepOptions struct {
 	// measurement runs, giving realistic run-to-run variation.
 	// Default 3%.
 	NoiseStd float64
+	// Parallelism bounds the sweep worker pool (see RunPoints). 0 uses
+	// GOMAXPROCS; 1 forces the sequential path. Results are identical
+	// at every setting.
+	Parallelism int
 }
 
 // DefaultSweep is used when the zero value is passed.
@@ -145,18 +149,19 @@ type measuredCI struct {
 	CPU                  float64
 }
 
-// measureCI repeats measurePoint with Repeats independent noise seeds.
+// measureCI repeats measurePoint with Repeats independent noise seeds,
+// fanned across the sweep's worker pool; the per-repeat seeds and the
+// order statistics are accumulated in are those of the old sequential
+// loop, so the result is bit-identical at any parallelism.
 func measureCI(opts heron.WordCountOptions, sweep SweepOptions, component string) (measuredCI, error) {
 	sweep = sweep.withDefaults()
-	opts.ServiceNoiseStd = sweep.NoiseStd
+	states, err := RunRepeats(opts, sweep, component)
+	if err != nil {
+		return measuredCI{}, err
+	}
 	var execs, emits []float64
 	var out measuredCI
-	for r := 0; r < sweep.Repeats; r++ {
-		opts.NoiseSeed = int64(1000 + 7919*r)
-		ss, err := measurePoint(opts, sweep, component)
-		if err != nil {
-			return measuredCI{}, err
-		}
+	for _, ss := range states {
 		execs = append(execs, ss.Execute)
 		emits = append(emits, ss.Emit)
 		out.BpMs += ss.BackpressureMs
@@ -179,10 +184,13 @@ func measureCI(opts heron.WordCountOptions, sweep SweepOptions, component string
 // prescribes.
 func calibrateSplitter(splitterP, counterP int, linearRate, satRate float64, sweep SweepOptions) (map[string]*core.ComponentModel, error) {
 	sweep = sweep.withDefaults()
-	models := map[string]*core.ComponentModel{}
-	for _, rate := range []float64{linearRate, satRate} {
+	// The linear and the saturated calibration runs are independent
+	// simulations; run both through the pool, then merge in the fixed
+	// linear-then-saturated order the sequential path used.
+	rates := []float64{linearRate, satRate}
+	perRate, err := RunPoints(sweep, len(rates), func(i int) (map[string]*core.ComponentModel, error) {
 		sim, err := heron.NewWordCount(heron.WordCountOptions{
-			SplitterP: splitterP, CounterP: counterP, RatePerMinute: rate, Tick: sweep.Tick,
+			SplitterP: splitterP, CounterP: counterP, RatePerMinute: rates[i], Tick: sweep.Tick,
 			ServiceNoiseStd: sweep.NoiseStd, NoiseSeed: 555,
 		})
 		if err != nil {
@@ -196,23 +204,39 @@ func calibrateSplitter(splitterP, counterP int, linearRate, satRate float64, swe
 		if err != nil {
 			return nil, err
 		}
+		out := map[string]*core.ComponentModel{}
 		for comp, p := range map[string]int{"spout": 8, "splitter": splitterP, "counter": counterP} {
 			m, err := core.CalibrateFromProvider(prov, "word-count", comp, p, sim.Start(), sim.Start().Add(total), core.CalibrationOptions{Warmup: sweep.WarmupMinutes})
 			if err != nil {
 				return nil, fmt.Errorf("calibrate %s: %w", comp, err)
 			}
-			if prev, ok := models[comp]; ok {
-				if m, err = core.MergeCalibrations(prev, m); err != nil {
-					return nil, err
-				}
-			}
-			models[comp] = m
+			out[comp] = m
 		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	models := perRate[0]
+	for comp, m := range perRate[1] {
+		merged, err := core.MergeCalibrations(models[comp], m)
+		if err != nil {
+			return nil, err
+		}
+		models[comp] = merged
 	}
 	return models, nil
 }
 
-func relErr(got, want float64) float64 { return math.Abs(got-want) / want }
+// relErr is the relative error of got against want. A zero want makes
+// the relative error undefined, so the absolute error is returned
+// instead of NaN (0/0) or ±Inf.
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / want
+}
 
 // Fig04InstanceThroughput reproduces Fig. 4: splitter instance input
 // and output rate versus topology source throughput, parallelism 1,
@@ -230,11 +254,15 @@ func Fig04InstanceThroughput(sweep SweepOptions) (Table, error) {
 	}
 	spInput := float64(heron.SplitterServiceRate) * 60 / 1e6
 	var maxLinearIn, satIn float64
-	for rate := 1e6; rate <= 20e6; rate += 1e6 {
-		m, err := measureCI(heron.WordCountOptions{SplitterP: 1, CounterP: 3, RatePerMinute: rate}, sweep, "splitter")
-		if err != nil {
-			return t, err
-		}
+	rates := rateGrid(1e6, 20e6, 1e6)
+	ms, err := RunPoints(sweep, len(rates), func(i int) (measuredCI, error) {
+		return measureCI(heron.WordCountOptions{SplitterP: 1, CounterP: 3, RatePerMinute: rates[i]}, sweep, "splitter")
+	})
+	if err != nil {
+		return t, err
+	}
+	for i, rate := range rates {
+		m := ms[i]
 		t.Rows = append(t.Rows, []float64{
 			rate / 1e6,
 			m.Exec / 1e6, m.ExecLo / 1e6, m.ExecHi / 1e6,
@@ -263,11 +291,15 @@ func Fig05IORatio(sweep SweepOptions) (Table, error) {
 		Columns: []string{"source_Mtpm", "ratio"},
 	}
 	minR, maxR := math.Inf(1), math.Inf(-1)
-	for rate := 1e6; rate <= 20e6; rate += 1e6 {
-		m, err := measureCI(heron.WordCountOptions{SplitterP: 1, CounterP: 3, RatePerMinute: rate}, sweep, "splitter")
-		if err != nil {
-			return t, err
-		}
+	rates := rateGrid(1e6, 20e6, 1e6)
+	ms, err := RunPoints(sweep, len(rates), func(i int) (measuredCI, error) {
+		return measureCI(heron.WordCountOptions{SplitterP: 1, CounterP: 3, RatePerMinute: rates[i]}, sweep, "splitter")
+	})
+	if err != nil {
+		return t, err
+	}
+	for i, rate := range rates {
+		m := ms[i]
 		ratio := m.Emit / m.Exec
 		t.Rows = append(t.Rows, []float64{rate / 1e6, ratio})
 		minR, maxR = math.Min(minR, ratio), math.Max(maxR, ratio)
@@ -289,11 +321,15 @@ func Fig06BackpressureTime(sweep SweepOptions) (Table, error) {
 	}
 	var below, above []float64
 	sp := float64(heron.SplitterServiceRate) * 60
-	for rate := 1e6; rate <= 20e6; rate += 1e6 {
-		m, err := measureCI(heron.WordCountOptions{SplitterP: 1, CounterP: 3, RatePerMinute: rate}, sweep, "splitter")
-		if err != nil {
-			return t, err
-		}
+	rates := rateGrid(1e6, 20e6, 1e6)
+	ms, err := RunPoints(sweep, len(rates), func(i int) (measuredCI, error) {
+		return measureCI(heron.WordCountOptions{SplitterP: 1, CounterP: 3, RatePerMinute: rates[i]}, sweep, "splitter")
+	})
+	if err != nil {
+		return t, err
+	}
+	for i, rate := range rates {
+		m := ms[i]
 		t.Rows = append(t.Rows, []float64{rate / 1e6, m.BpMs})
 		if rate < sp*0.98 {
 			below = append(below, m.BpMs)

@@ -37,28 +37,23 @@ func TrafficForecast() (Table, error) {
 	horizonStart := start.Add(7 * 24 * time.Hour)
 	horizon := forecast.Horizon(horizonStart.Add(-time.Minute), time.Minute, 24*60)
 
-	prophet, err := forecast.New("prophet", nil)
+	// The two models fit and predict independently over the same
+	// history; run them as two pool tasks.
+	names := []string{"prophet", "summary"}
+	preds, err := RunPoints(SweepOptions{}, len(names), func(i int) ([]forecast.Prediction, error) {
+		m, err := forecast.New(names[i], nil)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.Fit(pts); err != nil {
+			return nil, err
+		}
+		return m.Predict(horizon)
+	})
 	if err != nil {
 		return t, err
 	}
-	if err := prophet.Fit(pts); err != nil {
-		return t, err
-	}
-	pPreds, err := prophet.Predict(horizon)
-	if err != nil {
-		return t, err
-	}
-	summary, err := forecast.New("summary", nil)
-	if err != nil {
-		return t, err
-	}
-	if err := summary.Fit(pts); err != nil {
-		return t, err
-	}
-	sPreds, err := summary.Predict(horizon)
-	if err != nil {
-		return t, err
-	}
+	pPreds, sPreds := preds[0], preds[1]
 
 	var pMAPE, sMAPE float64
 	for i, tm := range horizon {
@@ -92,13 +87,23 @@ func DhalionVsCaladrius() (Table, error) {
 	}
 	const rate = 40e6
 	slo := rate * heron.SplitterAlpha * 0.98
-	initial := map[string]int{"spout": 8, "splitter": 1, "counter": 1}
 
-	dd := &dhalion.WordCountDeployer{RatePerMinute: rate}
-	dres, err := dhalion.Scaler{SLOThroughputTPM: slo}.Run(initial, dd)
+	// Dhalion's reactive loop and Caladrius' model-driven loop explore
+	// independent deployment sequences; race them on two workers. Each
+	// task gets its own copy of the initial parallelisms because both
+	// loops treat the map as scratch state.
+	results, err := RunPoints(SweepOptions{}, 2, func(i int) (dhalion.Result, error) {
+		start := map[string]int{"spout": 8, "splitter": 1, "counter": 1}
+		if i == 0 {
+			dd := &dhalion.WordCountDeployer{RatePerMinute: rate}
+			return dhalion.Scaler{SLOThroughputTPM: slo}.Run(start, dd)
+		}
+		return dhalion.CaladriusTuner{RatePerMinute: rate, SLOThroughputTPM: slo}.Run(start)
+	})
 	if err != nil {
 		return t, err
 	}
+	dres, cres := results[0], results[1]
 	for i, r := range dres.Rounds {
 		t.Rows = append(t.Rows, []float64{
 			float64(i + 1),
@@ -112,10 +117,6 @@ func DhalionVsCaladrius() (Table, error) {
 	// deployment pins its bottleneck's saturation point; convergence
 	// takes roughly one round per distinct bottleneck plus the final
 	// verification.
-	cres, err := dhalion.CaladriusTuner{RatePerMinute: rate, SLOThroughputTPM: slo}.Run(initial)
-	if err != nil {
-		return t, err
-	}
 	if !cres.Converged {
 		return t, fmt.Errorf("caladrius tuner did not converge: %s", cres.Reason)
 	}

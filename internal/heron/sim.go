@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strconv"
 	"time"
 
 	"caladrius/internal/telemetry"
@@ -156,6 +157,22 @@ type route struct {
 	weights     []float64 // fields grouping shares per downstream instance
 	alpha       float64
 	toInstances []*instanceState
+
+	// wStreamEmit accumulates this route's per-window stream emits;
+	// emitSeen turns true on the first emit, after which the series is
+	// flushed every window (matching the historical lazily-created
+	// per-stream map semantics without its per-tick key allocations).
+	wStreamEmit float64
+	emitSeen    bool
+	series      *tsdb.SeriesHandle
+}
+
+// instanceSeries bundles an instance's interned tsdb series handles,
+// created once at New so flushWindow appends without rebuilding label
+// maps or formatting instance/container ids.
+type instanceSeries struct {
+	source, backlog, arrival, execute, emit, fail,
+	bpMs, cpu, latency, pending, restarts *tsdb.SeriesHandle
 }
 
 type instanceState struct {
@@ -164,6 +181,14 @@ type instanceState struct {
 	profile   ComponentProfile
 	isSpout   bool
 	slow      float64 // service-rate multiplier
+
+	// Hoisted spout lookups: the component's offered-rate schedule and
+	// instance count, resolved once at New instead of two map lookups
+	// per spout per tick.
+	rate  workload.RateSchedule
+	peers float64
+
+	series instanceSeries
 
 	queueTuples float64 // pending in the instance's input queue
 	backlog     float64 // external source backlog (spouts)
@@ -184,9 +209,6 @@ type instanceState struct {
 	wCPUSecs  float64
 	wLatMs    float64 // sum over ticks of per-tick queue latency (ms)
 	wLatTicks float64
-	// wStreamEmit accumulates per-stream emit counts, keyed by stream
-	// name (allocated lazily; most components have one stream).
-	wStreamEmit map[string]float64
 
 	routes []route
 }
@@ -204,6 +226,9 @@ type Simulation struct {
 	wTopoBpMs float64
 	noise     *rand.Rand // nil when ServiceNoiseStd == 0
 	events    *simEvents // nil when Config.Metrics is nil
+
+	topoBpSeries *tsdb.SeriesHandle
+	tickMs       float64 // float64(Tick.Milliseconds()), hoisted
 }
 
 // New validates the configuration and builds a simulation.
@@ -338,6 +363,49 @@ func New(cfg Config) (*Simulation, error) {
 			})
 		}
 	}
+	// Intern every series the instance will ever write, and hoist the
+	// per-tick spout lookups, now that byComp is complete. Handles bind
+	// their series lazily, so never-written ones (spout metrics on
+	// bolts, streams that never emit) leave the database untouched.
+	s.tickMs = float64(cfg.Tick.Milliseconds())
+	topoName := t.Name()
+	for _, inst := range s.instances {
+		if inst.isSpout {
+			inst.rate = cfg.SpoutRates[inst.id.Component]
+			inst.peers = float64(len(s.byComp[inst.id.Component]))
+		}
+		base := tsdb.Labels{
+			"topology":  topoName,
+			"component": inst.id.Component,
+			"instance":  strconv.Itoa(inst.id.Index),
+			"container": strconv.Itoa(inst.container),
+		}
+		inst.series = instanceSeries{
+			source:   s.db.Handle(MetricSourceCount, base),
+			backlog:  s.db.Handle(MetricBacklogTuples, base),
+			arrival:  s.db.Handle(MetricArrivalCount, base),
+			execute:  s.db.Handle(MetricExecuteCount, base),
+			emit:     s.db.Handle(MetricEmitCount, base),
+			fail:     s.db.Handle(MetricFailCount, base),
+			bpMs:     s.db.Handle(MetricBackpressureMs, base),
+			cpu:      s.db.Handle(MetricCPULoad, base),
+			latency:  s.db.Handle(MetricLatencyMs, base),
+			pending:  s.db.Handle(MetricPendingBytes, base),
+			restarts: s.db.Handle(MetricRestartCount, base),
+		}
+		for ri := range inst.routes {
+			r := &inst.routes[ri]
+			sl := base.Clone()
+			sl["stream"] = r.stream + "->" + r.toComponent
+			r.series = s.db.Handle(MetricStreamEmitCount, sl)
+		}
+	}
+	s.topoBpSeries = s.db.Handle(MetricBackpressureMs, tsdb.Labels{
+		"topology":  topoName,
+		"component": TopologyComponent,
+		"instance":  "0",
+		"container": "-1",
+	})
 	return s, nil
 }
 
@@ -394,7 +462,7 @@ func (s *Simulation) step() {
 			capacity *= f
 		}
 		if inst.isSpout {
-			offered := s.cfg.SpoutRates[inst.id.Component](s.elapsed) * dtSec / float64(len(s.byComp[inst.id.Component]))
+			offered := inst.rate(s.elapsed) * dtSec / inst.peers
 			if offered < 0 {
 				offered = 0
 			}
@@ -450,7 +518,8 @@ func (s *Simulation) step() {
 		tickDropped += failed
 
 		var emitted float64
-		for _, r := range inst.routes {
+		for ri := range inst.routes {
+			r := &inst.routes[ri]
 			out := ok * r.alpha
 			if out == 0 {
 				continue
@@ -478,10 +547,8 @@ func (s *Simulation) step() {
 				r.toInstances[0].arrivedTick += out
 				emitted += out
 			}
-			if inst.wStreamEmit == nil {
-				inst.wStreamEmit = map[string]float64{}
-			}
-			inst.wStreamEmit[r.stream+"->"+r.toComponent] += streamOut
+			r.wStreamEmit += streamOut
+			r.emitSeen = true
 		}
 		inst.wEmitted += emitted
 		inst.wCPUSecs += processed*inst.profile.CPUPerTuple + (processed+emitted)*inst.profile.GatewayCPUPerTuple
@@ -507,7 +574,7 @@ func (s *Simulation) step() {
 			inst.bp = false
 		}
 		if inst.bp {
-			inst.wBpMs += float64(dt.Milliseconds())
+			inst.wBpMs += s.tickMs
 			bpActive++
 			if !was {
 				bpOnN++
@@ -517,7 +584,7 @@ func (s *Simulation) step() {
 		}
 	}
 	if s.topoBP {
-		s.wTopoBpMs += float64(dt.Milliseconds())
+		s.wTopoBpMs += s.tickMs
 	}
 
 	s.elapsed += dt
@@ -546,23 +613,17 @@ func (s *Simulation) step() {
 // the route's I/O coefficient.
 func (s *Simulation) downstreamHeadroom(inst *instanceState, dtSec float64) float64 {
 	room := math.Inf(1)
-	for _, r := range inst.routes {
+	for ri := range inst.routes {
+		r := &inst.routes[ri]
 		if r.alpha <= 0 {
 			continue
-		}
-		headroom := func(down *instanceState) float64 {
-			h := s.cfg.HighWatermarkBytes/down.profile.BytesPerTuple - (down.queueTuples + down.arrivedTick)
-			if h < 0 {
-				h = 0
-			}
-			return h + down.profile.ServiceRate*down.slow*dtSec
 		}
 		var allowedOut float64
 		switch r.grouping {
 		case topology.ShuffleGrouping:
 			minH := math.Inf(1)
 			for _, down := range r.toInstances {
-				if h := headroom(down); h < minH {
+				if h := s.instanceHeadroom(down, dtSec); h < minH {
 					minH = h
 				}
 			}
@@ -573,19 +634,19 @@ func (s *Simulation) downstreamHeadroom(inst *instanceState, dtSec float64) floa
 				if r.weights[i] <= 0 {
 					continue
 				}
-				if a := headroom(down) / r.weights[i]; a < allowedOut {
+				if a := s.instanceHeadroom(down, dtSec) / r.weights[i]; a < allowedOut {
 					allowedOut = a
 				}
 			}
 		case topology.AllGrouping:
 			allowedOut = math.Inf(1)
 			for _, down := range r.toInstances {
-				if h := headroom(down); h < allowedOut {
+				if h := s.instanceHeadroom(down, dtSec); h < allowedOut {
 					allowedOut = h
 				}
 			}
 		case topology.GlobalGrouping:
-			allowedOut = headroom(r.toInstances[0])
+			allowedOut = s.instanceHeadroom(r.toInstances[0], dtSec)
 		}
 		if a := allowedOut / r.alpha; a < room {
 			room = a
@@ -594,54 +655,50 @@ func (s *Simulation) downstreamHeadroom(inst *instanceState, dtSec float64) floa
 	return room
 }
 
-// flushWindow writes the accumulated window metrics and resets the
-// accumulators.
+// instanceHeadroom is one downstream instance's tuple headroom this
+// tick: queue space up to the high watermark plus one tick of service.
+func (s *Simulation) instanceHeadroom(down *instanceState, dtSec float64) float64 {
+	h := s.cfg.HighWatermarkBytes/down.profile.BytesPerTuple - (down.queueTuples + down.arrivedTick)
+	if h < 0 {
+		h = 0
+	}
+	return h + down.profile.ServiceRate*down.slow*dtSec
+}
+
+// flushWindow writes the accumulated window metrics through the
+// series handles interned at New and resets the accumulators.
 func (s *Simulation) flushWindow() {
 	stamp := s.cfg.Start.Add(s.windowEnd)
-	topo := s.cfg.Topology.Name()
 	for _, inst := range s.instances {
-		labels := tsdb.Labels{
-			"topology":  topo,
-			"component": inst.id.Component,
-			"instance":  fmt.Sprintf("%d", inst.id.Index),
-			"container": fmt.Sprintf("%d", inst.container),
-		}
+		sr := &inst.series
 		if inst.isSpout {
-			s.db.Append(MetricSourceCount, labels, stamp, inst.wSource)
-			s.db.Append(MetricBacklogTuples, labels, stamp, inst.backlog)
+			sr.source.Append(stamp, inst.wSource)
+			sr.backlog.Append(stamp, inst.backlog)
 		}
-		s.db.Append(MetricArrivalCount, labels, stamp, inst.wArrived)
-		s.db.Append(MetricExecuteCount, labels, stamp, inst.wExecuted)
-		s.db.Append(MetricEmitCount, labels, stamp, inst.wEmitted)
-		s.db.Append(MetricFailCount, labels, stamp, inst.wFailed)
-		s.db.Append(MetricBackpressureMs, labels, stamp, inst.wBpMs)
-		s.db.Append(MetricCPULoad, labels, stamp, inst.wCPUSecs/s.cfg.MetricsInterval.Seconds())
+		sr.arrival.Append(stamp, inst.wArrived)
+		sr.execute.Append(stamp, inst.wExecuted)
+		sr.emit.Append(stamp, inst.wEmitted)
+		sr.fail.Append(stamp, inst.wFailed)
+		sr.bpMs.Append(stamp, inst.wBpMs)
+		sr.cpu.Append(stamp, inst.wCPUSecs/s.cfg.MetricsInterval.Seconds())
 		if inst.wLatTicks > 0 {
-			s.db.Append(MetricLatencyMs, labels, stamp, inst.wLatMs/inst.wLatTicks)
+			sr.latency.Append(stamp, inst.wLatMs/inst.wLatTicks)
 		}
-		for stream, v := range inst.wStreamEmit {
-			sl := tsdb.Labels{
-				"topology":  topo,
-				"component": inst.id.Component,
-				"instance":  fmt.Sprintf("%d", inst.id.Index),
-				"container": fmt.Sprintf("%d", inst.container),
-				"stream":    stream,
+		for ri := range inst.routes {
+			r := &inst.routes[ri]
+			if !r.emitSeen {
+				continue
 			}
-			s.db.Append(MetricStreamEmitCount, sl, stamp, v)
-			inst.wStreamEmit[stream] = 0
+			r.series.Append(stamp, r.wStreamEmit)
+			r.wStreamEmit = 0
 		}
-		s.db.Append(MetricPendingBytes, labels, stamp, inst.queueTuples*inst.profile.BytesPerTuple)
-		s.db.Append(MetricRestartCount, labels, stamp, inst.wRestarts)
+		sr.pending.Append(stamp, inst.queueTuples*inst.profile.BytesPerTuple)
+		sr.restarts.Append(stamp, inst.wRestarts)
 		inst.wSource, inst.wArrived, inst.wExecuted, inst.wEmitted = 0, 0, 0, 0
 		inst.wFailed, inst.wBpMs, inst.wCPUSecs, inst.wRestarts = 0, 0, 0, 0
 		inst.wLatMs, inst.wLatTicks = 0, 0
 	}
-	s.db.Append(MetricBackpressureMs, tsdb.Labels{
-		"topology":  topo,
-		"component": TopologyComponent,
-		"instance":  "0",
-		"container": "-1",
-	}, stamp, s.wTopoBpMs)
+	s.topoBpSeries.Append(stamp, s.wTopoBpMs)
 	s.wTopoBpMs = 0
 	s.windowEnd += s.cfg.MetricsInterval
 }

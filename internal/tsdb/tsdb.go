@@ -120,19 +120,31 @@ func (db *DB) Append(metric string, labels Labels, t time.Time, v float64) {
 	if metric == "" {
 		panic("tsdb: empty metric name")
 	}
+	key := labels.canonical()
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	db.appendLocked(db.seriesLocked(metric, key, labels), t, v)
+}
+
+// seriesLocked returns (creating if needed) the series of metric with
+// the given pre-canonicalised label key. Caller holds db.mu.
+func (db *DB) seriesLocked(metric, key string, labels Labels) *seriesData {
 	bySeries, ok := db.metrics[metric]
 	if !ok {
 		bySeries = make(map[string]*seriesData)
 		db.metrics[metric] = bySeries
 	}
-	key := labels.canonical()
 	sd, ok := bySeries[key]
 	if !ok {
 		sd = &seriesData{labels: labels.Clone()}
 		bySeries[key] = sd
 	}
+	return sd
+}
+
+// appendLocked inserts one point into sd and applies retention. Caller
+// holds db.mu.
+func (db *DB) appendLocked(sd *seriesData, t time.Time, v float64) {
 	n := len(sd.points)
 	if n > 0 && t.Before(sd.points[n-1].T) {
 		// Out-of-order write: insert at the right place (rare path).
@@ -157,6 +169,45 @@ func (db *DB) AppendSeries(metric string, labels Labels, pts []Point) {
 	for _, p := range pts {
 		db.Append(metric, labels, p.T, p.V)
 	}
+}
+
+// SeriesHandle is an interned reference to one series. Append through
+// a handle skips the per-call label canonicalisation DB.Append pays,
+// and after the first point skips the metric/series map lookups too —
+// the hot-path write API for producers (like the simulator) that emit
+// into a fixed set of series every window.
+//
+// Handles are safe for concurrent use. A handle holds its own copy of
+// the labels, so callers may mutate the map passed to Handle. After
+// DropMetric, an already-bound handle keeps appending into the
+// detached series (invisible to queries); re-intern with Handle to
+// write into the recreated metric.
+type SeriesHandle struct {
+	db     *DB
+	metric string
+	key    string
+	labels Labels
+	sd     *seriesData // bound lazily on first Append, under db.mu
+}
+
+// Handle interns a series reference. The series itself is not created
+// until the first Append, so querying behaviour (Metrics, SeriesCount,
+// LabelValues) is unchanged for handles that never write.
+func (db *DB) Handle(metric string, labels Labels) *SeriesHandle {
+	if metric == "" {
+		panic("tsdb: empty metric name")
+	}
+	return &SeriesHandle{db: db, metric: metric, key: labels.canonical(), labels: labels.Clone()}
+}
+
+// Append records one observation into the interned series.
+func (h *SeriesHandle) Append(t time.Time, v float64) {
+	h.db.mu.Lock()
+	if h.sd == nil {
+		h.sd = h.db.seriesLocked(h.metric, h.key, h.labels)
+	}
+	h.db.appendLocked(h.sd, t, v)
+	h.db.mu.Unlock()
 }
 
 // Metrics returns the sorted list of metric names present.

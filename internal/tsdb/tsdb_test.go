@@ -412,3 +412,76 @@ func TestAppendPanicsOnEmptyMetric(t *testing.T) {
 	}()
 	New(0).Append("", nil, t0, 1)
 }
+
+func TestHandleAppendMatchesAppend(t *testing.T) {
+	plain, handled := New(0), New(0)
+	labels := Labels{"topology": "wc", "component": "splitter", "instance": "1"}
+	h := handled.Handle("emit-count", labels)
+	// Mutating the caller's map after Handle must not affect the handle.
+	labels["instance"] = "corrupted"
+	for i := 0; i < 10; i++ {
+		plain.Append("emit-count", Labels{"topology": "wc", "component": "splitter", "instance": "1"}, minuteAt(i), float64(i))
+		h.Append(minuteAt(i), float64(i))
+	}
+	for _, db := range []*DB{plain, handled} {
+		got, err := db.Query("emit-count", Labels{"instance": "1"}, minuteAt(0), minuteAt(10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 1 || len(got[0].Points) != 10 {
+			t.Fatalf("series = %+v, want one series with 10 points", got)
+		}
+		if got[0].Points[9].V != 9 {
+			t.Fatalf("last point = %v, want 9", got[0].Points[9])
+		}
+	}
+}
+
+func TestHandleUnwrittenSeriesInvisible(t *testing.T) {
+	db := New(0)
+	h := db.Handle("emit-count", Labels{"instance": "0"})
+	// Interning a handle must not create the series: queries, metric
+	// listings, and series counts only see written data.
+	if n := db.SeriesCount("emit-count"); n != 0 {
+		t.Fatalf("SeriesCount = %d before first Append, want 0", n)
+	}
+	if ms := db.Metrics(); len(ms) != 0 {
+		t.Fatalf("Metrics = %v before first Append, want none", ms)
+	}
+	h.Append(minuteAt(0), 42)
+	if n := db.SeriesCount("emit-count"); n != 1 {
+		t.Fatalf("SeriesCount = %d after Append, want 1", n)
+	}
+}
+
+func TestHandleConcurrentAppend(t *testing.T) {
+	db := New(0)
+	const goroutines, perG = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h := db.Handle("m", Labels{"instance": string(rune('a' + g))})
+			for i := 0; i < perG; i++ {
+				h.Append(minuteAt(i), float64(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := db.SeriesCount("m"); n != goroutines {
+		t.Fatalf("SeriesCount = %d, want %d", n, goroutines)
+	}
+	if tp := db.TotalPoints(); tp != goroutines*perG {
+		t.Fatalf("TotalPoints = %d, want %d", tp, goroutines*perG)
+	}
+}
+
+func TestHandlePanicsOnEmptyMetric(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Handle(\"\") did not panic")
+		}
+	}()
+	New(0).Handle("", nil)
+}

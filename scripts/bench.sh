@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Benchmark recipe: runs the hot-path micro-benchmarks and the
+# multi-rate sweep benchmarks, then writes BENCH_core.json with the
+# measured numbers next to the recorded pre-optimization (seed)
+# baseline, so the delta from this PR is part of the repo record.
+#
+# Usage: scripts/bench.sh [output.json]   (default BENCH_core.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_core.json}"
+MICRO_TIME="${BENCH_MICRO_TIME:-2s}"
+SWEEP_COUNT="${BENCH_SWEEP_COUNT:-3x}"
+
+# Seed baseline, measured on this repo immediately before the parallel
+# sweep engine and the simulator hot-path work landed (same harness,
+# benchtime 1s, GOMAXPROCS=1).
+SEED_SIM_NS=682542      SEED_SIM_B=162131   SEED_SIM_ALLOCS=5915
+SEED_APPEND_NS=872.2    SEED_APPEND_B=324   SEED_APPEND_ALLOCS=4
+SEED_SWEEP_NS=247852953
+
+echo "== micro benchmarks (${MICRO_TIME}) =="
+MICRO=$(go test -run '^$' \
+    -bench 'BenchmarkSimulatorMinute$|BenchmarkTSDBAppend$|BenchmarkTSDBAppendHandle$' \
+    -benchmem -benchtime "$MICRO_TIME" .)
+echo "$MICRO"
+
+echo "== sweep benchmarks (${SWEEP_COUNT} per parallelism) =="
+SWEEP=$(go test -run '^$' -bench 'BenchmarkSweepParallel' -benchtime "$SWEEP_COUNT" .)
+echo "$SWEEP"
+
+# pick <output> <name> <field>: extract one benchmark statistic.
+# Fields: 3 = ns/op, 5 = B/op, 7 = allocs/op.
+pick() {
+    echo "$1" | awk -v name="$2" -v f="$3" '$1 ~ "^"name"(-[0-9]+)?$" { print $f; exit }'
+}
+
+SIM_NS=$(pick "$MICRO" BenchmarkSimulatorMinute 3)
+SIM_B=$(pick "$MICRO" BenchmarkSimulatorMinute 5)
+SIM_ALLOCS=$(pick "$MICRO" BenchmarkSimulatorMinute 7)
+APPEND_NS=$(pick "$MICRO" BenchmarkTSDBAppend 3)
+APPEND_B=$(pick "$MICRO" BenchmarkTSDBAppend 5)
+APPEND_ALLOCS=$(pick "$MICRO" BenchmarkTSDBAppend 7)
+HANDLE_NS=$(pick "$MICRO" BenchmarkTSDBAppendHandle 3)
+HANDLE_B=$(pick "$MICRO" BenchmarkTSDBAppendHandle 5)
+HANDLE_ALLOCS=$(pick "$MICRO" BenchmarkTSDBAppendHandle 7)
+SWEEP1_NS=$(pick "$SWEEP" BenchmarkSweepParallel1 3)
+SWEEP8_NS=$(pick "$SWEEP" BenchmarkSweepParallel8 3)
+
+GOMAXPROCS="${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN)}"
+ratio() { awk -v a="$1" -v b="$2" 'BEGIN { printf "%.2f", a / b }'; }
+
+cat > "$OUT" <<EOF
+{
+  "date": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
+  "go": "$(go env GOVERSION)",
+  "gomaxprocs": ${GOMAXPROCS},
+  "note": "sweep outputs are byte-identical at every parallelism; sweep_parallel8 only beats sweep_parallel1 when GOMAXPROCS > 1",
+  "simulator_minute": {
+    "seed": {"ns_op": ${SEED_SIM_NS}, "b_op": ${SEED_SIM_B}, "allocs_op": ${SEED_SIM_ALLOCS}},
+    "now":  {"ns_op": ${SIM_NS}, "b_op": ${SIM_B}, "allocs_op": ${SIM_ALLOCS}},
+    "speedup": $(ratio "$SEED_SIM_NS" "$SIM_NS")
+  },
+  "tsdb_append": {
+    "seed": {"ns_op": ${SEED_APPEND_NS}, "b_op": ${SEED_APPEND_B}, "allocs_op": ${SEED_APPEND_ALLOCS}},
+    "now":  {"ns_op": ${APPEND_NS}, "b_op": ${APPEND_B}, "allocs_op": ${APPEND_ALLOCS}}
+  },
+  "tsdb_append_handle": {
+    "now": {"ns_op": ${HANDLE_NS}, "b_op": ${HANDLE_B}, "allocs_op": ${HANDLE_ALLOCS}},
+    "speedup_vs_append": $(ratio "$APPEND_NS" "$HANDLE_NS")
+  },
+  "fig04_sweep": {
+    "seed_sequential_ns": ${SEED_SWEEP_NS},
+    "now_parallel1_ns": ${SWEEP1_NS},
+    "now_parallel8_ns": ${SWEEP8_NS},
+    "speedup_seed_to_parallel1": $(ratio "$SEED_SWEEP_NS" "$SWEEP1_NS"),
+    "speedup_seed_to_parallel8": $(ratio "$SEED_SWEEP_NS" "$SWEEP8_NS"),
+    "speedup_parallel1_to_parallel8": $(ratio "$SWEEP1_NS" "$SWEEP8_NS")
+  }
+}
+EOF
+echo "bench: wrote $OUT"

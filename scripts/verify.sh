@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Full verification recipe: build, static checks, the whole test
 # suite, then the race detector over the concurrency-heavy packages
-# (the scraper/SLO pipeline, the instrumented API and the TSDB).
+# (the scraper/SLO pipeline, the instrumented API, the TSDB, the
+# parallel sweep engine and the simulator it fans out).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -9,4 +10,5 @@ go build ./...
 go vet ./...
 go test ./...
 go test -race ./internal/telemetry ./internal/api ./internal/tsdb
+go test -race ./internal/experiments ./internal/heron
 echo "verify: all checks passed"
