@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"caladrius/internal/api"
+	"caladrius/internal/audit"
 	"caladrius/internal/config"
 	"caladrius/internal/core"
 	"caladrius/internal/experiments"
@@ -243,6 +244,39 @@ func BenchmarkTSDBDownsample(b *testing.B) {
 		if _, err := db.Downsample("execute-count", tsdb.Labels{"component": "splitter"}, t0, t0.Add(24*time.Hour), time.Minute, tsdb.AggSum, tsdb.AggSum); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkAuditRecord measures the audit ledger's record hot path —
+// every prediction request pays it synchronously. After the first
+// record interns the per-(topology, model) counters, Record must not
+// allocate: the ring is preallocated and overwritten in place.
+func BenchmarkAuditRecord(b *testing.B) {
+	prov, err := metrics.NewTSDBProvider(tsdb.New(0), time.Minute)
+	if err != nil {
+		b.Fatal(err)
+	}
+	t0 := time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+	led, err := audit.NewLedger(audit.Options{Provider: prov, Now: func() time.Time { return t0 }})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := audit.Record{
+		Topology:      "word-count",
+		Model:         "predict",
+		CreatedAt:     t0,
+		SourceRateTPM: 20e6,
+		Calibration:   []core.ComponentCalibration{{Component: "counter", Parallelism: 4, Alpha: 0.001}},
+		Predicted:     audit.Predicted{SinkTPM: 1.9e7, Risk: "low", Sink: "counter", TotalCPUCores: 2},
+	}
+	led.Record(rec) // interns the run counters for this (topology, model)
+	if allocs := testing.AllocsPerRun(100, func() { led.Record(rec) }); allocs != 0 {
+		b.Fatalf("Record allocates %.1f/op on the ring-overwrite path, want 0", allocs)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		led.Record(rec)
 	}
 }
 

@@ -12,10 +12,19 @@
 // `calctl dash`). -scrape-interval 0 disables self-monitoring;
 // -history-file persists the history across restarts.
 //
+// When self-monitoring is on, the daemon also audits its own models: a
+// prediction audit ledger records every performance/plan run, a
+// background resolver joins records against observed actuals and
+// derives caladrius_model_* accuracy series, and two extra SLO rules
+// watch for accuracy drift and stale calibrations. The ledger is
+// served through /api/v1/audit (see `calctl accuracy`);
+// -audit-resolve-interval 0 disables it, -audit-file persists it.
+//
 // Usage:
 //
 //	caladrius [-config caladrius.yaml] [-addr :8642] [-rate 30e6] [-debug-addr localhost:8643]
 //	          [-scrape-interval 5s] [-history-retention 1h] [-history-file caladrius-history.json]
+//	          [-audit-resolve-interval 15s] [-audit-retention 2h] [-audit-file caladrius-audit.json]
 //
 // Then query it, e.g.:
 //
@@ -38,6 +47,7 @@ import (
 	"time"
 
 	"caladrius/internal/api"
+	"caladrius/internal/audit"
 	"caladrius/internal/config"
 	"caladrius/internal/heron"
 	"caladrius/internal/metrics"
@@ -67,6 +77,11 @@ func run() error {
 	scrapeInterval := flag.Duration("scrape-interval", 5*time.Second, "self-monitoring scrape period; 0 disables the scraper, history and alerts")
 	historyRetention := flag.Duration("history-retention", time.Hour, "how much scraped telemetry history to keep")
 	historyFile := flag.String("history-file", "", "persist scraped history to this file on shutdown and reload it on boot")
+	auditResolveInterval := flag.Duration("audit-resolve-interval", 15*time.Second, "how often the audit resolver joins predictions with actuals; 0 disables the prediction ledger")
+	auditRetention := flag.Duration("audit-retention", 2*time.Hour, "how long resolved audit records are retained")
+	auditFile := flag.String("audit-file", "", "persist the audit ledger to this file on shutdown and reload it on boot")
+	driftThreshold := flag.Float64("drift-threshold", 0.25, "rolling MAPE above which the model-accuracy-drift SLO fires")
+	staleAfter := flag.Duration("stale-calibration-after", 30*time.Minute, "calibration age at which the model-stale-calibration SLO fires")
 	flag.Parse()
 
 	cfg := config.Default()
@@ -163,8 +178,44 @@ func run() error {
 		}
 		scraper = telemetry.NewScraper(reg, history, telemetry.ScrapeOptions{Interval: *scrapeInterval})
 		scraper.AddCollector(telemetry.RegisterRuntime(reg, time.Now(), time.Now))
-		var err error
-		slo, err = telemetry.NewSLO(history, reg, nil, telemetry.DefaultSLORules())
+	}
+
+	// Prediction audit ledger: records every model run, and a resolver
+	// joins records against the demo metric store's actuals. It rides on
+	// self-monitoring — its accuracy series live in the history store.
+	var ledger *audit.Ledger
+	if *auditResolveInterval > 0 && scraper != nil {
+		ledger, err = audit.NewLedger(audit.Options{
+			Provider:      provider,
+			History:       history,
+			Registry:      reg,
+			Now:           func() time.Time { return asOf },
+			SeriesNow:     time.Now,
+			Retention:     *auditRetention,
+			MetricsWindow: cfg.MetricsWindow,
+		})
+		if err != nil {
+			return err
+		}
+		if *auditFile != "" {
+			switch err := ledger.LoadFile(*auditFile); {
+			case err == nil:
+				logger.Info("loaded audit ledger", "file", *auditFile, "records", ledger.Len())
+			case errors.Is(err, os.ErrNotExist):
+				// First boot: nothing to restore yet.
+			default:
+				return fmt.Errorf("load audit ledger: %w", err)
+			}
+		}
+		scraper.AddCollector(ledger.Collector())
+	}
+
+	if scraper != nil {
+		rules := telemetry.DefaultSLORules()
+		if ledger != nil {
+			rules = append(rules, telemetry.ModelAccuracyRules(*driftThreshold, *staleAfter, 0)...)
+		}
+		slo, err = telemetry.NewSLO(history, reg, nil, rules)
 		if err != nil {
 			return err
 		}
@@ -177,6 +228,7 @@ func run() error {
 		Telemetry: reg,
 		History:   history,
 		SLO:       slo,
+		Audit:     ledger,
 	})
 	if err != nil {
 		return err
@@ -202,6 +254,10 @@ func run() error {
 		logger.Info("self-monitoring scraper running", "interval", *scrapeInterval, "retention", *historyRetention)
 		go scraper.Run(ctx)
 	}
+	if ledger != nil {
+		logger.Info("audit resolver running", "interval", *auditResolveInterval, "retention", *auditRetention)
+		go ledger.Run(ctx.Done(), *auditResolveInterval)
+	}
 
 	logger.Info("caladrius listening", "addr", cfg.APIAddr, "topology", top.Name())
 	server := &http.Server{Addr: cfg.APIAddr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
@@ -217,6 +273,16 @@ func run() error {
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	_ = server.Shutdown(shutdownCtx)
+	if ledger != nil {
+		ledger.ResolveOnce(asOf) // resolve what we can before snapshotting
+		if *auditFile != "" {
+			if err := ledger.SaveFile(*auditFile); err != nil {
+				logger.Error("saving audit ledger", "file", *auditFile, "err", err)
+			} else {
+				logger.Info("saved audit ledger", "file", *auditFile, "records", ledger.Len())
+			}
+		}
+	}
 	if scraper != nil && *historyFile != "" {
 		scraper.ScrapeOnce(time.Now()) // one final scrape so the snapshot is current
 		if err := history.SaveFile(*historyFile); err != nil {

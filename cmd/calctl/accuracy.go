@@ -1,0 +1,136 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/url"
+	"strconv"
+	"time"
+)
+
+// The accuracy command summarises the service's prediction audit
+// ledger: per-(topology, model) rolling error metrics followed by the
+// most recent audit records. Like dash, it reads the wire format
+// directly rather than importing internal packages.
+
+type accuracyStats struct {
+	Topology       string     `json:"topology"`
+	Model          string     `json:"model"`
+	Resolved       int        `json:"resolved"`
+	Audited        int        `json:"audited"`
+	MAPE           *float64   `json:"mape"`
+	SignedError    *float64   `json:"signed_error"`
+	Precision      float64    `json:"precision"`
+	Recall         float64    `json:"recall"`
+	LastCalibrated *time.Time `json:"last_calibrated"`
+}
+
+type accuracyRecord struct {
+	ID             int64          `json:"id"`
+	Topology       string         `json:"topology"`
+	Model          string         `json:"model"`
+	CreatedAt      time.Time      `json:"created_at"`
+	SourceRateTPM  float64        `json:"source_rate_tpm"`
+	Parallelism    map[string]int `json:"parallelism"`
+	Counterfactual bool           `json:"counterfactual"`
+	Predicted      struct {
+		SinkTPM float64 `json:"sink_tpm"`
+		Risk    string  `json:"backpressure_risk"`
+	} `json:"predicted"`
+	Resolved bool `json:"resolved"`
+	Observed *struct {
+		SinkTPM      float64 `json:"sink_tpm"`
+		Backpressure bool    `json:"backpressure"`
+	} `json:"observed"`
+	Errors *struct {
+		SinkSigned  float64 `json:"sink_signed_error"`
+		SinkAPE     float64 `json:"sink_ape"`
+		RiskOutcome string  `json:"risk_outcome"`
+	} `json:"errors"`
+}
+
+type accuracyResponse struct {
+	Records []accuracyRecord `json:"records"`
+	Stats   []accuracyStats  `json:"stats"`
+}
+
+func accuracyCmd(c *client, args []string) error {
+	fs := flag.NewFlagSet("accuracy", flag.ContinueOnError)
+	topo := fs.String("topology", "", "filter by topology")
+	model := fs.String("model", "", "filter by model kind (predict|plan)")
+	limit := fs.Int("limit", 10, "audit records to list")
+	raw := fs.Bool("raw", false, "dump the raw JSON payload instead of the summary")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	v := url.Values{"limit": {strconv.Itoa(*limit)}}
+	if *topo != "" {
+		v.Set("topology", *topo)
+	}
+	if *model != "" {
+		v.Set("model", *model)
+	}
+	path := "/api/v1/audit?" + v.Encode()
+	if *raw {
+		return c.getJSON(path)
+	}
+	var resp accuracyResponse
+	found, err := c.getDecodeOpt(path, &resp)
+	if err != nil {
+		return err
+	}
+	if !found {
+		fmt.Println("audit disabled on server (start caladrius with self-monitoring and -audit-resolve-interval > 0)")
+		return nil
+	}
+
+	if len(resp.Stats) == 0 {
+		fmt.Println("no resolved audit records yet")
+	} else {
+		fmt.Printf("%-14s %-8s %-9s %-8s %-9s %-9s %-9s %-9s %s\n",
+			"topology", "model", "resolved", "audited", "mape", "signed", "precision", "recall", "calibrated")
+		for _, s := range resp.Stats {
+			cal := "-"
+			if s.LastCalibrated != nil {
+				cal = s.LastCalibrated.Format(time.RFC3339)
+			}
+			fmt.Printf("%-14s %-8s %-9d %-8d %-9s %-9s %-9.3f %-9.3f %s\n",
+				s.Topology, s.Model, s.Resolved, s.Audited,
+				fmtPct(s.MAPE), fmtPct(s.SignedError), s.Precision, s.Recall, cal)
+		}
+	}
+
+	if len(resp.Records) == 0 {
+		return nil
+	}
+	fmt.Printf("\n%-6s %-14s %-8s %-20s %-14s %-14s %-8s %-5s %s\n",
+		"id", "topology", "model", "created", "pred_sink_tpm", "obs_sink_tpm", "ape", "risk", "state")
+	for _, r := range resp.Records {
+		obs, ape, risk := "-", "-", r.Predicted.Risk
+		if r.Observed != nil {
+			obs = fmt.Sprintf("%.4g", r.Observed.SinkTPM)
+		}
+		if r.Errors != nil {
+			ape = fmt.Sprintf("%.2f%%", r.Errors.SinkAPE*100)
+			risk += "/" + r.Errors.RiskOutcome
+		}
+		state := "pending"
+		switch {
+		case r.Resolved && r.Counterfactual:
+			state = "counterfactual"
+		case r.Resolved:
+			state = "resolved"
+		}
+		fmt.Printf("%-6d %-14s %-8s %-20s %-14.4g %-14s %-8s %-5s %s\n",
+			r.ID, r.Topology, r.Model, r.CreatedAt.Format("2006-01-02T15:04:05Z"),
+			r.Predicted.SinkTPM, obs, ape, risk, state)
+	}
+	return nil
+}
+
+func fmtPct(v *float64) string {
+	if v == nil {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f%%", *v*100)
+}

@@ -30,6 +30,7 @@ var dashPanels = []dashPanel{
 	{title: "in flight", metric: "caladrius_http_in_flight_requests", agg: "max", merge: "sum", scale: 1, unit: ""},
 	{title: "goroutines", metric: "caladrius_go_goroutines", agg: "max", merge: "max", scale: 1, unit: ""},
 	{title: "backpressure", metric: "caladrius_sim_backpressure_active_instances", agg: "mean", merge: "sum", scale: 1, unit: "inst"},
+	{title: "model MAPE", metric: "caladrius_model_mape", agg: "last", merge: "max", scale: 100, unit: "%"},
 }
 
 // Local decode targets: the dashboard reads the wire format directly
@@ -93,8 +94,14 @@ func renderDash(c *client, window, step time.Duration, width int) error {
 			"merge":  {p.merge},
 		}
 		var rr dashRange
-		if err := c.getDecode("/api/v1/query_range?"+v.Encode(), &rr); err != nil {
+		found, err := c.getDecodeOpt("/api/v1/query_range?"+v.Encode(), &rr)
+		if err != nil {
 			return err
+		}
+		if !found {
+			// -scrape-interval 0 daemon: history endpoints answer 404.
+			fmt.Printf("%-14s %*s  (self-monitoring disabled)\n", p.title, width, "")
+			continue
 		}
 		vals := make([]float64, len(rr.Points))
 		for i, pt := range rr.Points {
@@ -108,10 +115,15 @@ func renderDash(c *client, window, step time.Duration, width int) error {
 	}
 
 	var ar dashAlerts
-	if err := c.getDecode("/api/v1/alerts", &ar); err != nil {
+	found, err := c.getDecodeOpt("/api/v1/alerts", &ar)
+	if err != nil {
 		return err
 	}
 	fmt.Println("\nalerts:")
+	if !found {
+		fmt.Println("  (self-monitoring disabled)")
+		return nil
+	}
 	if len(ar.Alerts) == 0 {
 		fmt.Println("  (no rules configured)")
 		return nil

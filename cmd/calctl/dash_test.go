@@ -2,6 +2,7 @@ package main
 
 import (
 	"net/http"
+	"strings"
 	"testing"
 	"time"
 
@@ -37,6 +38,22 @@ func TestDashCommand(t *testing.T) {
 	}
 	if err := run([]string{"-server", srv.URL, "dash", "-width", "0"}); err == nil {
 		t.Error("dash accepted -width 0")
+	}
+}
+
+// TestDashGracefulWhenSelfMonitoringDisabled: against a daemon started
+// with -scrape-interval 0 the history endpoints answer 404; dash must
+// render placeholder panels instead of erroring out.
+func TestDashGracefulWhenSelfMonitoringDisabled(t *testing.T) {
+	srv, _, _ := newTestServerOpts(t, false, false)
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-server", srv.URL, "dash", "-iterations", "1", "-no-clear"})
+	})
+	if err != nil {
+		t.Fatalf("dash against monitoring-less server: %v", err)
+	}
+	if got := strings.Count(out, "(self-monitoring disabled)"); got != len(dashPanels)+1 {
+		t.Fatalf("disabled placeholders = %d, want %d (one per panel plus alerts):\n%s", got, len(dashPanels)+1, out)
 	}
 }
 

@@ -18,10 +18,12 @@
 //	metrics [-top N] [-raw]              service telemetry with a latency table
 //	trace <id>                           render a job or request span tree
 //	dash [flags]                         live terminal dashboard from the history endpoints
+//	accuracy [flags]                     model accuracy summary from the prediction audit ledger
 //
-// traffic flags: -source-minutes N -horizon-minutes N -model NAME -sync
-// perf flags:    -rate TPM -p comp=N[,comp=N...] -forecast -sync
-// dash flags:    -interval 2s -window 5m -step 10s -iterations N -no-clear -width 60
+// traffic flags:  -source-minutes N -horizon-minutes N -model NAME -sync
+// perf flags:     -rate TPM -p comp=N[,comp=N...] -forecast -sync
+// dash flags:     -interval 2s -window 5m -step 10s -iterations N -no-clear -width 60
+// accuracy flags: -topology NAME -model predict|plan -limit N -raw
 package main
 
 import (
@@ -95,6 +97,8 @@ func run(args []string) error {
 		return traceCmd(c, rest[1])
 	case "dash":
 		return dashCmd(c, rest[1:])
+	case "accuracy":
+		return accuracyCmd(c, rest[1:])
 	default:
 		return fmt.Errorf("unknown command %q", rest[0])
 	}
@@ -255,19 +259,34 @@ func syncSuffix(sync bool) string {
 // getDecode fetches path and decodes the JSON response into v,
 // failing on error statuses.
 func (c *client) getDecode(path string, v any) error {
+	found, err := c.getDecodeOpt(path, v)
+	if err == nil && !found {
+		return fmt.Errorf("server returned 404 Not Found for %s", path)
+	}
+	return err
+}
+
+// getDecodeOpt is getDecode for opt-in server features (self-
+// monitoring, the audit ledger): a 404 reports found=false with no
+// error, so callers can degrade gracefully instead of failing against
+// a daemon started with those subsystems disabled.
+func (c *client) getDecodeOpt(path string, v any) (found bool, err error) {
 	resp, err := c.http.Get(c.base + path)
 	if err != nil {
-		return err
+		return false, err
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return err
+		return false, err
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		return false, nil
 	}
 	if resp.StatusCode >= 400 {
-		return fmt.Errorf("server returned %s: %s", resp.Status, strings.TrimSpace(string(data)))
+		return false, fmt.Errorf("server returned %s: %s", resp.Status, strings.TrimSpace(string(data)))
 	}
-	return json.Unmarshal(data, v)
+	return true, json.Unmarshal(data, v)
 }
 
 func metricsCmd(c *client, args []string) error {

@@ -1,13 +1,16 @@
 package main
 
 import (
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"testing"
 	"time"
 
 	"caladrius/internal/api"
+	"caladrius/internal/audit"
 	"caladrius/internal/config"
 	"caladrius/internal/heron"
 	"caladrius/internal/metrics"
@@ -22,6 +25,14 @@ import (
 // the self-monitoring pipeline (scraper, history store, SLO rules)
 // wired in so the history endpoints and `calctl dash` have data.
 func newTestServer(t *testing.T) (*httptest.Server, *telemetry.Scraper) {
+	srv, scraper, _ := newTestServerOpts(t, true, false)
+	return srv, scraper
+}
+
+// newTestServerOpts controls whether the self-monitoring pipeline and
+// the prediction audit ledger are wired in — the degraded-mode calctl
+// tests need servers without them.
+func newTestServerOpts(t *testing.T, selfMonitoring, withAudit bool) (*httptest.Server, *telemetry.Scraper, *audit.Ledger) {
 	t.Helper()
 	sim, err := heron.NewWordCount(heron.WordCountOptions{
 		SplitterP: 3, CounterP: 8,
@@ -52,19 +63,32 @@ func newTestServer(t *testing.T) (*httptest.Server, *telemetry.Scraper) {
 	}
 	cfg := config.Default()
 	cfg.CalibrationLookback = 30 * time.Minute
-	reg := telemetry.NewRegistry()
-	history := tsdb.New(time.Hour)
-	scraper := telemetry.NewScraper(reg, history, telemetry.ScrapeOptions{})
-	slo, err := telemetry.NewSLO(history, reg, nil, telemetry.DefaultSLORules())
-	if err != nil {
-		t.Fatal(err)
+	opts := api.Options{Now: func() time.Time { return asOf }}
+	var history *tsdb.DB
+	var scraper *telemetry.Scraper
+	if selfMonitoring {
+		reg := telemetry.NewRegistry()
+		history = tsdb.New(time.Hour)
+		scraper = telemetry.NewScraper(reg, history, telemetry.ScrapeOptions{})
+		slo, err := telemetry.NewSLO(history, reg, nil, telemetry.DefaultSLORules())
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.Telemetry, opts.History, opts.SLO = reg, history, slo
 	}
-	svc, err := api.NewService(cfg, tr, prov, api.Options{
-		Now:       func() time.Time { return asOf },
-		Telemetry: reg,
-		History:   history,
-		SLO:       slo,
-	})
+	var led *audit.Ledger
+	if withAudit {
+		led, err = audit.NewLedger(audit.Options{
+			Provider: prov,
+			History:  history,
+			Now:      func() time.Time { return asOf },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.Audit = led
+	}
+	svc, err := api.NewService(cfg, tr, prov, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +97,27 @@ func newTestServer(t *testing.T) (*httptest.Server, *telemetry.Scraper) {
 	mux.Handle("/metrics", telemetry.Handler(svc.Metrics()))
 	srv := httptest.NewServer(mux)
 	t.Cleanup(srv.Close)
-	return srv, scraper
+	return srv, scraper, led
+}
+
+// captureStdout runs f with os.Stdout redirected to a pipe and returns
+// what it printed — the calctl commands write straight to stdout.
+func captureStdout(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := f()
+	w.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out), runErr
 }
 
 func TestCommands(t *testing.T) {

@@ -20,6 +20,8 @@
 //	GET  /api/v1/jobs/{id}                                job status/result
 //	GET  /api/v1/query_range                              scraped telemetry history (see history.go)
 //	GET  /api/v1/alerts                                   SLO alert states (see history.go)
+//	GET  /api/v1/audit                                    prediction audit ledger (see audit.go)
+//	GET  /api/v1/audit/{id}                               one audit record
 package api
 
 import (
@@ -35,6 +37,7 @@ import (
 	"sync"
 	"time"
 
+	"caladrius/internal/audit"
 	"caladrius/internal/config"
 	"caladrius/internal/core"
 	"caladrius/internal/forecast"
@@ -60,6 +63,7 @@ type Service struct {
 	tracer      *telemetry.Tracer
 	history     *tsdb.DB
 	slo         *telemetry.SLO
+	audit       *audit.Ledger
 	httpInst    *httpInstruments
 	jobsRunning *telemetry.Gauge
 	jobsDone    *telemetry.Counter
@@ -95,6 +99,10 @@ type Options struct {
 	// SLO evaluates alert rules against History. Nil leaves
 	// /api/v1/alerts answering 404.
 	SLO *telemetry.SLO
+	// Audit is the prediction audit ledger every model run is recorded
+	// into. Nil disables recording and leaves /api/v1/audit answering
+	// 404.
+	Audit *audit.Ledger
 }
 
 // New builds a service. logger and now are optional; telemetry is
@@ -138,6 +146,7 @@ func NewService(cfg config.Config, tr *tracker.Tracker, provider metrics.Provide
 		tracer:      opts.Tracer,
 		history:     opts.History,
 		slo:         opts.SLO,
+		audit:       opts.Audit,
 		httpInst:    newHTTPInstruments(reg),
 		jobsRunning: reg.Gauge("caladrius_jobs_running", nil),
 		jobsDone:    reg.Counter("caladrius_jobs_completed_total", telemetry.Labels{"outcome": "done"}),
@@ -168,6 +177,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/api/v1/jobs/", s.handleJob)
 	mux.HandleFunc("/api/v1/query_range", s.handleQueryRange)
 	mux.HandleFunc("/api/v1/alerts", s.handleAlerts)
+	mux.HandleFunc("/api/v1/audit", s.handleAuditList)
+	mux.HandleFunc("/api/v1/audit/", s.handleAuditRecord)
 	return instrument(mux, s.httpInst, s.logger)
 }
 
@@ -585,8 +596,12 @@ func (s *Service) runPerformance(ctx context.Context, topoName string, req Perfo
 	if rate < 0 || math.IsNaN(rate) {
 		return nil, fmt.Errorf("api: bad source rate %g", rate)
 	}
+	// A run is counterfactual — audited for context but not graded —
+	// when it evaluates anything other than the deployed configuration
+	// at its currently observed rate.
+	counterfactual := len(req.Parallelism) > 0 || req.SourceRateTPM != 0 || req.UseForecast
 	_, psp := telemetry.StartSpan(ctx, "predict")
-	pred, err := tm.Predict(req.Parallelism, rate)
+	pred, err := tm.PredictRecorded(s.auditRecorder(ctx, topoName, "predict", counterfactual), req.Parallelism, rate)
 	psp.End()
 	if err != nil {
 		return nil, err
@@ -654,6 +669,9 @@ func (s *Service) topologyModel(ctx context.Context, topoName string, asOf time.
 	s.mu.Lock()
 	s.modelCache[topoName] = cachedModel{planVersion: info.Plan.Version, model: tm}
 	s.mu.Unlock()
+	if s.audit != nil {
+		s.audit.NoteCalibration(topoName, asOf)
+	}
 	s.logger.Info("calibrated topology model", "topology", topoName, "plan_version", info.Plan.Version)
 	return tm, nil
 }
@@ -718,8 +736,9 @@ func (s *Service) runSuggest(ctx context.Context, topoName string, req SuggestRe
 	if err != nil {
 		return nil, err
 	}
+	// Plans evaluate a hypothetical parallelism — always counterfactual.
 	_, prSp := telemetry.StartSpan(ctx, "predict")
-	pred, err := tm.Predict(plan, rate)
+	pred, err := tm.PredictRecorded(s.auditRecorder(ctx, topoName, "plan", true), plan, rate)
 	prSp.End()
 	if err != nil {
 		return nil, err

@@ -1,0 +1,171 @@
+package api
+
+import (
+	"context"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"caladrius/internal/audit"
+	"caladrius/internal/core"
+	"caladrius/internal/telemetry"
+)
+
+// The prediction audit surface: every model run the service performs
+// is recorded into the audit ledger (internal/audit) through the
+// core.RunRecorder hook, and exposed read-only here. Like the other
+// self-monitoring endpoints, the surface is opt-in — both handlers
+// answer 404 when the service was built without a ledger.
+
+// ledgerRecorder adapts the audit ledger to core.RunRecorder, binding
+// the request-scoped identity core does not know: topology name, model
+// kind, trace id and whether the run was counterfactual.
+type ledgerRecorder struct {
+	led            *audit.Ledger
+	topology       string
+	model          string
+	traceID        string
+	counterfactual bool
+}
+
+func (r ledgerRecorder) RecordRun(run core.ModelRun) {
+	p := run.Prediction
+	sat := p.SaturationSource
+	if math.IsInf(sat, 1) {
+		sat = 0 // unsaturatable; JSON cannot carry +Inf
+	}
+	cp := p.CriticalPath()
+	sink := ""
+	if len(cp.Path) > 0 {
+		sink = cp.Path[len(cp.Path)-1]
+	}
+	r.led.Record(audit.Record{
+		Topology:       r.topology,
+		Model:          r.model,
+		TraceID:        r.traceID,
+		SourceRateTPM:  run.SourceRate,
+		Parallelism:    run.Parallelism,
+		Counterfactual: r.counterfactual,
+		Calibration:    run.Calibration,
+		Predicted: audit.Predicted{
+			SinkTPM:             p.SinkThroughput,
+			OutputTPM:           cp.OutputRate,
+			SaturationSourceTPM: sat,
+			Bottleneck:          p.Bottleneck,
+			Risk:                string(p.Risk),
+			TotalCPUCores:       p.TotalCPU,
+			Sink:                sink,
+		},
+	})
+}
+
+// auditRecorder builds the RunRecorder for one model run, or nil when
+// the service has no ledger (PredictRecorded then degrades to Predict).
+func (s *Service) auditRecorder(ctx context.Context, topology, model string, counterfactual bool) core.RunRecorder {
+	if s.audit == nil {
+		return nil
+	}
+	return ledgerRecorder{
+		led:            s.audit,
+		topology:       topology,
+		model:          model,
+		traceID:        telemetry.SpanFromContext(ctx).TraceID(),
+		counterfactual: counterfactual,
+	}
+}
+
+// AuditListResponse is the payload of GET /api/v1/audit.
+type AuditListResponse struct {
+	Records []audit.Record `json:"records"`
+	Count   int            `json:"count"`
+	Stats   []audit.Stats  `json:"stats"`
+}
+
+// AuditRecordResponse is the payload of GET /api/v1/audit/{id}: the
+// record plus a link to its model-pipeline trace when one was sampled.
+type AuditRecordResponse struct {
+	audit.Record
+	Trace string `json:"trace,omitempty"`
+}
+
+func (s *Service) handleAuditList(w http.ResponseWriter, r *http.Request) {
+	if s.audit == nil {
+		httpError(w, http.StatusNotFound, "audit disabled: service has no prediction ledger")
+		return
+	}
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	q := r.URL.Query()
+	f := audit.Filter{
+		Topology: q.Get("topology"),
+		Model:    q.Get("model"),
+	}
+	if v := q.Get("resolved"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "resolved: want true or false")
+			return
+		}
+		f.Resolved = &b
+	}
+	if v := q.Get("since"); v != "" {
+		t, err := parseRangeTime(v)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "since: "+err.Error())
+			return
+		}
+		f.Since = t
+	}
+	if v := q.Get("until"); v != "" {
+		t, err := parseRangeTime(v)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "until: "+err.Error())
+			return
+		}
+		f.Until = t
+	}
+	f.Limit = 50
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			httpError(w, http.StatusBadRequest, "limit: want a positive integer")
+			return
+		}
+		f.Limit = n
+	}
+	recs := s.audit.List(f)
+	if recs == nil {
+		recs = []audit.Record{}
+	}
+	writeJSON(w, http.StatusOK, AuditListResponse{Records: recs, Count: len(recs), Stats: s.audit.Stats()})
+}
+
+func (s *Service) handleAuditRecord(w http.ResponseWriter, r *http.Request) {
+	if s.audit == nil {
+		httpError(w, http.StatusNotFound, "audit disabled: service has no prediction ledger")
+		return
+	}
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	idStr := strings.TrimPrefix(r.URL.Path, "/api/v1/audit/")
+	id, err := strconv.ParseInt(idStr, 10, 64)
+	if err != nil || id <= 0 {
+		httpError(w, http.StatusBadRequest, "bad audit record id "+strconv.Quote(idStr))
+		return
+	}
+	rec, ok := s.audit.Get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no audit record "+idStr+" (evicted or never recorded)")
+		return
+	}
+	resp := AuditRecordResponse{Record: rec}
+	if rec.TraceID != "" {
+		resp.Trace = "/api/v1/jobs/" + rec.TraceID + "/trace"
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

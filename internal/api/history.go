@@ -18,6 +18,10 @@ import (
 // the service was built without a history store — self-monitoring is
 // opt-in.
 
+// maxRangeBuckets bounds how many downsample buckets one query_range
+// request may ask for.
+const maxRangeBuckets = 100_000
+
 // reservedRangeParams are query_range parameters that are not label
 // matchers; every other query parameter becomes a label equality
 // selector (e.g. ?route=/api/v1/health or ?le=%2BInf).
@@ -126,18 +130,24 @@ func (s *Service) handleQueryRange(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	if !start.Before(end) {
-		httpError(w, http.StatusBadRequest, "start must precede end")
+	if start.After(end) {
+		httpError(w, http.StatusBadRequest, "start must not be after end")
 		return
 	}
 	step := 30 * time.Second
 	if v := q.Get("step"); v != "" {
 		d, err := time.ParseDuration(v)
 		if err != nil || d <= 0 {
-			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad step %q", v))
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("step must be a positive duration, got %q", v))
 			return
 		}
 		step = d
+	}
+	// Bound the bucket count so a tiny step over a huge range cannot
+	// materialise millions of points.
+	if buckets := end.Sub(start) / step; buckets > maxRangeBuckets {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("step %s over range %s yields %d buckets (max %d)", step, end.Sub(start), buckets, maxRangeBuckets))
+		return
 	}
 	agg, merge := tsdb.AggMean, tsdb.AggSum
 	if v := q.Get("agg"); v != "" {

@@ -29,6 +29,8 @@ const (
 	routeJobTrace    = "/api/v1/jobs/{id}/trace"
 	routeQueryRange  = "/api/v1/query_range"
 	routeAlerts      = "/api/v1/alerts"
+	routeAudit       = "/api/v1/audit"
+	routeAuditRecord = "/api/v1/audit/{id}"
 	routeOther       = "other"
 )
 
@@ -36,7 +38,8 @@ var allRoutes = []string{
 	routeHealth, routeModels, routeTraffic, routeRank,
 	routePerformance, routeSuggest, routeCalibrate, routeModel,
 	routeGraph, routeQuery, routeJob, routeJobTrace,
-	routeQueryRange, routeAlerts, routeOther,
+	routeQueryRange, routeAlerts, routeAudit, routeAuditRecord,
+	routeOther,
 }
 
 // routePattern maps a concrete request path to its route pattern
@@ -51,6 +54,14 @@ func routePattern(path string) string {
 		return routeQueryRange
 	case routeAlerts:
 		return routeAlerts
+	case routeAudit:
+		return routeAudit
+	}
+	if rest, ok := strings.CutPrefix(path, "/api/v1/audit/"); ok {
+		if rest != "" && !strings.Contains(rest, "/") {
+			return routeAuditRecord
+		}
+		return routeOther
 	}
 	if rest, ok := strings.CutPrefix(path, "/api/v1/model/traffic/"); ok {
 		name, action, hasAction := strings.Cut(rest, "/")

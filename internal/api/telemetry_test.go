@@ -31,6 +31,10 @@ func TestRoutePattern(t *testing.T) {
 		"/api/v1/jobs/":                                 routeOther,
 		"/api/v1/query_range":                           routeQueryRange,
 		"/api/v1/alerts":                                routeAlerts,
+		"/api/v1/audit":                                 routeAudit,
+		"/api/v1/audit/42":                              routeAuditRecord,
+		"/api/v1/audit/42/bogus":                        routeOther,
+		"/api/v1/audit/":                                routeOther,
 		"/somewhere/else":                               routeOther,
 	}
 	for path, want := range cases {

@@ -1,0 +1,528 @@
+// Package audit implements Caladrius' prediction audit ledger: an
+// append-only, capacity- and age-bounded record of every model run the
+// service performs, plus a background resolver that later joins each
+// record against the actuals the metrics provider observed and derives
+// model-accuracy series from the comparison.
+//
+// The paper reports model error once, offline (§V, Fig. 8–12); a
+// long-running service needs the same comparison continuously, because
+// a calibration drifts the moment the workload does. Every run of the
+// throughput/backpressure/CPU models records its inputs, the
+// calibration snapshot (α/SP/ST per component) and the predicted
+// quantities; the resolver computes per-record signed error and APE,
+// rolling MAPE, and backpressure-classifier precision/recall, writing
+// them as caladrius_model_* series that feed the accuracy-drift and
+// stale-calibration SLO rules (telemetry.ModelAccuracyRules).
+//
+// The record hot path — Ledger.Record — performs no allocation: the
+// ring is preallocated, ids are integers, and the run counters are
+// interned per (topology, model).
+package audit
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"caladrius/internal/core"
+	"caladrius/internal/metrics"
+	"caladrius/internal/telemetry"
+	"caladrius/internal/tsdb"
+)
+
+// Series the ledger writes into the history store (and mirrors as
+// registry gauges/counters). All carry topology and model labels
+// except the calibration age, which is per topology.
+const (
+	// MetricRuns counts recorded model runs.
+	MetricRuns = "caladrius_model_runs_total"
+	// MetricResolved counts records the resolver joined with actuals.
+	MetricResolved = "caladrius_model_resolved_total"
+	// MetricAPE is the per-record absolute percentage error of the
+	// predicted sink throughput, stamped at the record's creation time.
+	MetricAPE = "caladrius_model_ape"
+	// MetricMAPE is the rolling mean APE over the last RollingWindow
+	// audited records.
+	MetricMAPE = "caladrius_model_mape"
+	// MetricSignedError is the rolling mean signed relative error
+	// (positive = model over-predicts).
+	MetricSignedError = "caladrius_model_signed_error"
+	// MetricPrecision and MetricRecall grade the backpressure-risk
+	// classifier against observed backpressure (cumulative).
+	MetricPrecision = "caladrius_model_bp_precision"
+	MetricRecall    = "caladrius_model_bp_recall"
+	// MetricCalibrationAge is seconds since each topology's model was
+	// last calibrated.
+	MetricCalibrationAge = "caladrius_model_calibration_age_seconds"
+)
+
+// Risk outcomes of one resolved record's backpressure classification.
+const (
+	RiskTP = "tp" // predicted high, backpressure observed
+	RiskFP = "fp" // predicted high, none observed
+	RiskFN = "fn" // predicted low, backpressure observed
+	RiskTN = "tn" // predicted low, none observed
+)
+
+// Predicted holds the quantities one model run predicted.
+// SaturationSourceTPM is 0 when the topology cannot saturate (the
+// model's +Inf; JSON cannot carry infinities).
+type Predicted struct {
+	SinkTPM             float64 `json:"sink_tpm"`
+	OutputTPM           float64 `json:"output_tpm"`
+	SaturationSourceTPM float64 `json:"saturation_source_tpm"`
+	Bottleneck          string  `json:"bottleneck,omitempty"`
+	Risk                string  `json:"backpressure_risk"`
+	TotalCPUCores       float64 `json:"total_cpu_cores"`
+	// Sink is the critical path's final component — the entity whose
+	// observed throughput the resolver joins against.
+	Sink string `json:"sink"`
+}
+
+// Observed holds the actuals the resolver measured over the record's
+// observation window [Start, End).
+type Observed struct {
+	Start                   time.Time `json:"window_start"`
+	End                     time.Time `json:"window_end"`
+	Windows                 int       `json:"windows"`
+	SinkTPM                 float64   `json:"sink_tpm"`
+	BackpressureMsPerWindow float64   `json:"backpressure_ms_per_window"`
+	Backpressure            bool      `json:"backpressure"`
+	TotalCPUCores           float64   `json:"total_cpu_cores"`
+}
+
+// Errors holds one resolved record's error metrics. Relative errors
+// follow the experiments package's relErr convention: divided by the
+// observed value, or left absolute when the observed value is zero.
+type Errors struct {
+	// SinkSigned is (predicted − observed) / observed sink throughput;
+	// positive means the model over-predicted.
+	SinkSigned float64 `json:"sink_signed_error"`
+	// SinkAPE is |predicted − observed| / observed sink throughput.
+	SinkAPE float64 `json:"sink_ape"`
+	// CPUSigned is the signed relative error of total predicted CPU.
+	CPUSigned float64 `json:"cpu_signed_error"`
+	// RiskOutcome classifies the backpressure prediction: tp|fp|fn|tn.
+	RiskOutcome string `json:"risk_outcome"`
+}
+
+// Record is one immutable audit ledger entry.
+type Record struct {
+	ID        int64     `json:"id"`
+	Topology  string    `json:"topology"`
+	Model     string    `json:"model"` // "predict" or "plan"
+	TraceID   string    `json:"trace_id,omitempty"`
+	CreatedAt time.Time `json:"created_at"`
+
+	// SourceRateTPM and Parallelism are the model inputs.
+	SourceRateTPM float64        `json:"source_rate_tpm"`
+	Parallelism   map[string]int `json:"parallelism,omitempty"`
+	// Counterfactual marks dry-runs of configurations or rates that
+	// differ from what is actually deployed. The resolver still attaches
+	// actuals for context, but computes no error metrics — comparing a
+	// hypothetical plan against the running plan's throughput would
+	// grade the model on a question it was not asked.
+	Counterfactual bool `json:"counterfactual"`
+
+	// Calibration is the α/SP/ST/ψ snapshot the run was computed from
+	// (shared across records of one calibration — do not mutate).
+	Calibration []core.ComponentCalibration `json:"calibration,omitempty"`
+
+	Predicted Predicted `json:"predicted"`
+
+	Resolved   bool       `json:"resolved"`
+	ResolvedAt *time.Time `json:"resolved_at,omitempty"`
+	Observed   *Observed  `json:"observed,omitempty"`
+	Errors     *Errors    `json:"errors,omitempty"`
+}
+
+// Options configures a Ledger.
+type Options struct {
+	// Provider supplies the actuals the resolver joins against.
+	Provider metrics.Provider
+	// History optionally receives the caladrius_model_* series (the
+	// store the SLO rules evaluate). Nil skips series writes.
+	History *tsdb.DB
+	// Registry optionally receives the run counters and rolling gauges.
+	// Nil skips instrument registration.
+	Registry *telemetry.Registry
+	// Now stamps records; align it with the service clock (the clock
+	// the metrics provider's data lives on). Default: time.Now.
+	Now func() time.Time
+	// SeriesNow stamps the caladrius_model_* series appended into
+	// History. It exists because a daemon may model a frozen or
+	// simulated service clock while its self-monitoring history runs on
+	// wall time — pass time.Now there so accuracy series land in the
+	// SLO evaluation window. Default: Now.
+	SeriesNow func() time.Time
+	// Capacity bounds retained records (ring buffer). Default 4096.
+	Capacity int
+	// Retention evicts records older than this. Default 2h.
+	Retention time.Duration
+	// ObserveWindow is the trailing actuals window a record is resolved
+	// against: [CreatedAt−ObserveWindow, CreatedAt). Default 5m.
+	ObserveWindow time.Duration
+	// MetricsWindow is the provider's rollup interval, used to convert
+	// per-window counts to tuples/minute. Default 1m.
+	MetricsWindow time.Duration
+	// RollingWindow is how many audited records the rolling MAPE and
+	// signed error average over. Default 20.
+	RollingWindow int
+	// SaturatedBpMs is the per-window backpressure time above which the
+	// observation window counts as backpressured — the same threshold
+	// calibration uses for saturation (default 10 000 ms).
+	SaturatedBpMs float64
+}
+
+// modelKey indexes per-(topology, model) state without allocating.
+type modelKey struct{ topology, model string }
+
+// rollingStats accumulates resolver output for one (topology, model).
+type rollingStats struct {
+	ape    []float64 // last RollingWindow audited APEs, oldest first
+	signed []float64
+	// cumulative backpressure-classifier confusion counts
+	tp, fp, fn, tn int
+	resolved       int
+	audited        int
+}
+
+// Ledger is the prediction audit ledger. All methods are safe for
+// concurrent use.
+type Ledger struct {
+	provider      metrics.Provider
+	db            *tsdb.DB
+	reg           *telemetry.Registry
+	now           func() time.Time
+	seriesNow     func() time.Time
+	capacity      int
+	retention     time.Duration
+	observeWindow time.Duration
+	metricsWindow time.Duration
+	rollingN      int
+	satBpMs       float64
+
+	mu   sync.Mutex
+	recs []Record // preallocated ring
+	head int      // index of the oldest record
+	n    int
+	seq  int64 // last assigned id; ids start at 1
+
+	runs            map[modelKey]*telemetry.Counter
+	resolvedC       map[modelKey]*telemetry.Counter
+	rolling         map[modelKey]*rollingStats
+	mapeG           map[modelKey]*telemetry.Gauge
+	signedG         map[modelKey]*telemetry.Gauge
+	precG           map[modelKey]*telemetry.Gauge
+	recG            map[modelKey]*telemetry.Gauge
+	calAgeG         map[string]*telemetry.Gauge
+	lastCalibration map[string]time.Time
+}
+
+// NewLedger builds a ledger. Provider is required; History and
+// Registry are optional surfaces.
+func NewLedger(opts Options) (*Ledger, error) {
+	if opts.Provider == nil {
+		return nil, errors.New("audit: ledger needs a metrics provider")
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	if opts.SeriesNow == nil {
+		opts.SeriesNow = opts.Now
+	}
+	if opts.Capacity <= 0 {
+		opts.Capacity = 4096
+	}
+	if opts.Retention <= 0 {
+		opts.Retention = 2 * time.Hour
+	}
+	if opts.ObserveWindow <= 0 {
+		opts.ObserveWindow = 5 * time.Minute
+	}
+	if opts.MetricsWindow <= 0 {
+		opts.MetricsWindow = time.Minute
+	}
+	if opts.RollingWindow <= 0 {
+		opts.RollingWindow = 20
+	}
+	if opts.SaturatedBpMs <= 0 {
+		opts.SaturatedBpMs = 10_000
+	}
+	if opts.Registry != nil {
+		opts.Registry.SetHelp(MetricRuns, "Model runs recorded in the audit ledger, by topology and model.")
+		opts.Registry.SetHelp(MetricResolved, "Audit records the resolver joined with observed actuals.")
+		opts.Registry.SetHelp(MetricMAPE, "Rolling mean absolute percentage error of predicted sink throughput.")
+		opts.Registry.SetHelp(MetricSignedError, "Rolling mean signed relative error of predicted sink throughput.")
+		opts.Registry.SetHelp(MetricPrecision, "Backpressure-risk classifier precision (cumulative).")
+		opts.Registry.SetHelp(MetricRecall, "Backpressure-risk classifier recall (cumulative).")
+		opts.Registry.SetHelp(MetricCalibrationAge, "Seconds since the topology model was last calibrated.")
+	}
+	return &Ledger{
+		provider:        opts.Provider,
+		db:              opts.History,
+		reg:             opts.Registry,
+		now:             opts.Now,
+		seriesNow:       opts.SeriesNow,
+		capacity:        opts.Capacity,
+		retention:       opts.Retention,
+		observeWindow:   opts.ObserveWindow,
+		metricsWindow:   opts.MetricsWindow,
+		rollingN:        opts.RollingWindow,
+		satBpMs:         opts.SaturatedBpMs,
+		recs:            make([]Record, opts.Capacity),
+		runs:            map[modelKey]*telemetry.Counter{},
+		resolvedC:       map[modelKey]*telemetry.Counter{},
+		rolling:         map[modelKey]*rollingStats{},
+		mapeG:           map[modelKey]*telemetry.Gauge{},
+		signedG:         map[modelKey]*telemetry.Gauge{},
+		precG:           map[modelKey]*telemetry.Gauge{},
+		recG:            map[modelKey]*telemetry.Gauge{},
+		calAgeG:         map[string]*telemetry.Gauge{},
+		lastCalibration: map[string]time.Time{},
+	}, nil
+}
+
+// Record appends one audit record and returns its id. The caller fills
+// everything except ID, CreatedAt (when zero) and resolution fields.
+// This is the hot path: 0 allocs/op after the first record of each
+// (topology, model) pair.
+func (l *Ledger) Record(rec Record) int64 {
+	l.mu.Lock()
+	if rec.CreatedAt.IsZero() {
+		rec.CreatedAt = l.now()
+	}
+	l.seq++
+	rec.ID = l.seq
+	rec.Resolved = false
+	rec.ResolvedAt, rec.Observed, rec.Errors = nil, nil, nil
+	l.evictLocked(rec.CreatedAt)
+	if l.n < l.capacity {
+		l.recs[(l.head+l.n)%l.capacity] = rec
+		l.n++
+	} else {
+		l.recs[l.head] = rec
+		l.head = (l.head + 1) % l.capacity
+	}
+	c := l.runs[modelKey{rec.Topology, rec.Model}]
+	if c == nil && l.reg != nil {
+		c = l.reg.Counter(MetricRuns, telemetry.Labels{"topology": rec.Topology, "model": rec.Model})
+		l.runs[modelKey{rec.Topology, rec.Model}] = c
+	}
+	l.mu.Unlock()
+	if c != nil {
+		c.Inc()
+	}
+	return rec.ID
+}
+
+// evictLocked drops records older than the retention horizon.
+func (l *Ledger) evictLocked(now time.Time) {
+	horizon := now.Add(-l.retention)
+	for l.n > 0 && l.recs[l.head].CreatedAt.Before(horizon) {
+		l.recs[l.head] = Record{}
+		l.head = (l.head + 1) % l.capacity
+		l.n--
+	}
+}
+
+// NoteCalibration marks the topology's model as freshly calibrated at
+// the given time — the anchor of the stale-calibration gauge.
+func (l *Ledger) NoteCalibration(topology string, at time.Time) {
+	l.mu.Lock()
+	l.lastCalibration[topology] = at
+	g := l.calAgeGaugeLocked(topology)
+	l.mu.Unlock()
+	if g != nil {
+		g.Set(0)
+	}
+}
+
+func (l *Ledger) calAgeGaugeLocked(topology string) *telemetry.Gauge {
+	if l.reg == nil {
+		return nil
+	}
+	g := l.calAgeG[topology]
+	if g == nil {
+		g = l.reg.Gauge(MetricCalibrationAge, telemetry.Labels{"topology": topology})
+		l.calAgeG[topology] = g
+	}
+	return g
+}
+
+// Collector returns a scrape-time hook that refreshes the calibration
+// age gauges (ages grow between resolve cycles; gauges would otherwise
+// go stale). Wire it via telemetry.Scraper.AddCollector.
+func (l *Ledger) Collector() func() {
+	return func() {
+		now := l.now()
+		l.mu.Lock()
+		for topo, at := range l.lastCalibration {
+			if g := l.calAgeGaugeLocked(topo); g != nil {
+				g.Set(now.Sub(at).Seconds())
+			}
+		}
+		l.mu.Unlock()
+	}
+}
+
+// Get returns one record by id.
+func (l *Ledger) Get(id int64) (Record, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rec, _, ok := l.getLocked(id)
+	return rec, ok
+}
+
+// getLocked resolves an id to its ring slot: ids are sequential, so a
+// record's offset from the oldest retained id is its distance from
+// head.
+func (l *Ledger) getLocked(id int64) (Record, int, bool) {
+	if l.n == 0 {
+		return Record{}, 0, false
+	}
+	oldest := l.recs[l.head].ID
+	if id < oldest || id > l.seq {
+		return Record{}, 0, false
+	}
+	idx := (l.head + int(id-oldest)) % l.capacity
+	return l.recs[idx], idx, true
+}
+
+// Filter selects records for List. Zero fields match everything.
+type Filter struct {
+	Topology string
+	Model    string
+	// Resolved filters by resolution state when non-nil.
+	Resolved *bool
+	// Since/Until bound CreatedAt (inclusive since, exclusive until).
+	Since, Until time.Time
+	// Limit caps the result length (newest first). 0 means 100.
+	Limit int
+}
+
+// List returns matching records, newest first.
+func (l *Ledger) List(f Filter) []Record {
+	if f.Limit <= 0 {
+		f.Limit = 100
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Record, 0, min(f.Limit, l.n))
+	for i := l.n - 1; i >= 0 && len(out) < f.Limit; i-- {
+		rec := l.recs[(l.head+i)%l.capacity]
+		if f.Topology != "" && rec.Topology != f.Topology {
+			continue
+		}
+		if f.Model != "" && rec.Model != f.Model {
+			continue
+		}
+		if f.Resolved != nil && rec.Resolved != *f.Resolved {
+			continue
+		}
+		if !f.Since.IsZero() && rec.CreatedAt.Before(f.Since) {
+			continue
+		}
+		if !f.Until.IsZero() && !rec.CreatedAt.Before(f.Until) {
+			continue
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// Len returns the number of retained records.
+func (l *Ledger) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}
+
+// Stats summarises the resolver's accumulated accuracy for one
+// (topology, model) pair.
+type Stats struct {
+	Topology string `json:"topology"`
+	Model    string `json:"model"`
+	// Resolved counts records joined with actuals; Audited counts the
+	// non-counterfactual subset that fed the error metrics.
+	Resolved int `json:"resolved"`
+	Audited  int `json:"audited"`
+	// MAPE and SignedError are the rolling means over the last
+	// RollingWindow audited records; nil before the first.
+	MAPE        *float64 `json:"mape,omitempty"`
+	SignedError *float64 `json:"signed_error,omitempty"`
+	// Confusion counts and derived precision/recall of the
+	// backpressure-risk classifier (cumulative).
+	TP        int     `json:"tp"`
+	FP        int     `json:"fp"`
+	FN        int     `json:"fn"`
+	TN        int     `json:"tn"`
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+	// LastCalibrated is when the topology model was last calibrated,
+	// when known.
+	LastCalibrated *time.Time `json:"last_calibrated,omitempty"`
+}
+
+// Stats returns per-(topology, model) accuracy summaries, sorted.
+func (l *Ledger) Stats() []Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Stats, 0, len(l.rolling))
+	for key, rs := range l.rolling {
+		s := Stats{
+			Topology: key.topology,
+			Model:    key.model,
+			Resolved: rs.resolved,
+			Audited:  rs.audited,
+			TP:       rs.tp, FP: rs.fp, FN: rs.fn, TN: rs.tn,
+		}
+		s.Precision, s.Recall = PrecisionRecall(rs.tp, rs.fp, rs.fn)
+		if len(rs.ape) > 0 {
+			m, sg := mean(rs.ape), mean(rs.signed)
+			s.MAPE, s.SignedError = &m, &sg
+		}
+		if at, ok := l.lastCalibration[key.topology]; ok {
+			t := at
+			s.LastCalibrated = &t
+		}
+		out = append(out, s)
+	}
+	sortStats(out)
+	return out
+}
+
+func sortStats(s []Stats) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && (s[j].Topology < s[j-1].Topology ||
+			(s[j].Topology == s[j-1].Topology && s[j].Model < s[j-1].Model)); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// mean sums left-to-right (oldest first) — the order the closed-loop
+// accuracy test replicates, so results match bit-for-bit.
+func mean(vs []float64) float64 {
+	var sum float64
+	for _, v := range vs {
+		sum += v
+	}
+	return sum / float64(len(vs))
+}
+
+// PrecisionRecall derives the backpressure classifier's precision and
+// recall from confusion counts. Empty denominators — no predicted
+// positives (precision) or no observed positives (recall) — grade as a
+// perfect 1: a topology that never backpressures and a model that
+// never cries wolf are both vacuously right.
+func PrecisionRecall(tp, fp, fn int) (precision, recall float64) {
+	precision, recall = 1, 1
+	if tp+fp > 0 {
+		precision = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		recall = float64(tp) / float64(tp+fn)
+	}
+	return precision, recall
+}

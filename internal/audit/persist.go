@@ -1,0 +1,165 @@
+package audit
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Ledger persistence mirrors the tsdb snapshot format: a JSON header
+// line followed by one JSON line per record, oldest first, so a
+// restarted daemon resumes with its audit history (and the rolling
+// accuracy state replayed from the resolved records).
+
+const (
+	snapshotFormat  = "caladrius-audit"
+	snapshotVersion = 1
+)
+
+type snapshotHeader struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+	Records int    `json:"records"`
+	// Calibrations carries the last-calibration marks per topology.
+	Calibrations map[string]time.Time `json:"calibrations,omitempty"`
+}
+
+// WriteSnapshot streams the ledger to w: header, then records oldest
+// first.
+func (l *Ledger) WriteSnapshot(w io.Writer) error {
+	l.mu.Lock()
+	recs := make([]Record, 0, l.n)
+	for i := 0; i < l.n; i++ {
+		recs = append(recs, l.recs[(l.head+i)%l.capacity])
+	}
+	cals := make(map[string]time.Time, len(l.lastCalibration))
+	for topo, at := range l.lastCalibration {
+		cals[topo] = at
+	}
+	l.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(snapshotHeader{Format: snapshotFormat, Version: snapshotVersion, Records: len(recs), Calibrations: cals}); err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSnapshot loads records from r into the ledger, replacing its
+// contents. Records beyond capacity keep only the newest; resolved
+// non-counterfactual records replay into the rolling accuracy state in
+// order, so gauges and stats resume where the previous process left
+// off.
+func (l *Ledger) ReadSnapshot(r io.Reader) error {
+	br := bufio.NewReader(r)
+	dec := json.NewDecoder(br)
+	var hdr snapshotHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return fmt.Errorf("audit: snapshot header: %w", err)
+	}
+	if hdr.Format != snapshotFormat {
+		return fmt.Errorf("audit: not an audit snapshot (format %q)", hdr.Format)
+	}
+	if hdr.Version != snapshotVersion {
+		return fmt.Errorf("audit: unsupported snapshot version %d", hdr.Version)
+	}
+	recs := make([]Record, 0, hdr.Records)
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return fmt.Errorf("audit: snapshot record: %w", err)
+		}
+		recs = append(recs, rec)
+	}
+	if len(recs) > l.capacity {
+		recs = recs[len(recs)-l.capacity:]
+	}
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i := range l.recs {
+		l.recs[i] = Record{}
+	}
+	l.head, l.n = 0, 0
+	l.rolling = map[modelKey]*rollingStats{}
+	for i, rec := range recs {
+		l.recs[i] = rec
+		l.n++
+		if rec.ID > l.seq {
+			l.seq = rec.ID
+		}
+		key := modelKey{rec.Topology, rec.Model}
+		if rec.Resolved {
+			rs := l.rolling[key]
+			if rs == nil {
+				rs = &rollingStats{}
+				l.rolling[key] = rs
+			}
+			rs.resolved++
+			if e := rec.Errors; e != nil {
+				rs.audited++
+				rs.ape = appendTrim(rs.ape, e.SinkAPE, l.rollingN)
+				rs.signed = appendTrim(rs.signed, e.SinkSigned, l.rollingN)
+				switch e.RiskOutcome {
+				case RiskTP:
+					rs.tp++
+				case RiskFP:
+					rs.fp++
+				case RiskFN:
+					rs.fn++
+				case RiskTN:
+					rs.tn++
+				}
+			}
+		}
+	}
+	for topo, at := range hdr.Calibrations {
+		l.lastCalibration[topo] = at
+	}
+	return nil
+}
+
+// SaveFile atomically writes the ledger snapshot to path.
+func (l *Ledger) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := l.WriteSnapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile reads a ledger snapshot from path.
+func (l *Ledger) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return l.ReadSnapshot(f)
+}

@@ -1,0 +1,358 @@
+package audit
+
+import (
+	"errors"
+	"time"
+
+	"caladrius/internal/metrics"
+	"caladrius/internal/telemetry"
+	"caladrius/internal/tsdb"
+)
+
+// The resolver: joins pending audit records against observed actuals.
+//
+// Join semantics. A record created at time T is compared against the
+// trailing observation window [T−ObserveWindow, T): the actuals the
+// metrics provider had already rolled up when the prediction was made.
+// This measures exactly what drift observability needs — how far the
+// model's view of the topology has diverged from its live behaviour —
+// and lets records resolve immediately instead of waiting wall-clock
+// time for a future window (which a service with a frozen demo clock,
+// or one predicting hypothetical rates, could never fill).
+//
+// Per record the resolver reads the critical-path sink component's
+// windows (observed sink throughput = mean Execute per window scaled
+// to tuples/minute), the topology backpressure series (observed
+// backpressure = mean ms/window ≥ SaturatedBpMs, the calibration
+// saturation threshold), and the calibrated components' CPU loads.
+// Records whose window has no data yet stay pending and are retried
+// on the next cycle.
+//
+// Counterfactual records (hypothetical parallelisms or rates) get
+// Observed attached for context but no Errors: grading a what-if
+// prediction against the deployed configuration's actuals would score
+// the model on a question it was not asked.
+
+// resolution is one record's computed join, carried out of the
+// unlocked provider-query phase and applied under the ledger lock.
+type resolution struct {
+	id       int64
+	observed Observed
+	errs     *Errors
+}
+
+// ResolveOnce runs one resolver cycle at the given instant: joins
+// every pending record whose observation window has data, updates the
+// rolling accuracy state, refreshes gauges, and appends the
+// caladrius_model_* series. It returns the number of records resolved.
+func (l *Ledger) ResolveOnce(now time.Time) int {
+	// Copy pending records out so provider queries run unlocked.
+	l.mu.Lock()
+	pending := make([]Record, 0, l.n)
+	for i := 0; i < l.n; i++ {
+		rec := l.recs[(l.head+i)%l.capacity]
+		if !rec.Resolved && !rec.CreatedAt.After(now) {
+			pending = append(pending, rec)
+		}
+	}
+	l.mu.Unlock()
+	if len(pending) == 0 {
+		l.emitSeries(now, l.seriesNow())
+		return 0
+	}
+
+	resolutions := make([]resolution, 0, len(pending))
+	for _, rec := range pending {
+		obs, ok := l.observe(rec)
+		if !ok {
+			continue
+		}
+		res := resolution{id: rec.ID, observed: obs}
+		if !rec.Counterfactual {
+			res.errs = computeErrors(rec.Predicted, obs)
+		}
+		resolutions = append(resolutions, res)
+	}
+
+	// Apply under lock, oldest first — the rolling window order the
+	// closed-loop accuracy test replicates.
+	type apePoint struct {
+		key modelKey
+		at  time.Time
+		ape float64
+	}
+	var apes []apePoint
+	l.mu.Lock()
+	applied := 0
+	for _, res := range resolutions {
+		rec, idx, ok := l.getLocked(res.id)
+		if !ok || rec.Resolved {
+			continue // evicted or raced
+		}
+		at := now
+		obs := res.observed
+		l.recs[idx].Resolved = true
+		l.recs[idx].ResolvedAt = &at
+		l.recs[idx].Observed = &obs
+		l.recs[idx].Errors = res.errs
+		key := modelKey{rec.Topology, rec.Model}
+		rs := l.rolling[key]
+		if rs == nil {
+			rs = &rollingStats{}
+			l.rolling[key] = rs
+		}
+		rs.resolved++
+		if res.errs != nil {
+			rs.audited++
+			rs.ape = appendTrim(rs.ape, res.errs.SinkAPE, l.rollingN)
+			rs.signed = appendTrim(rs.signed, res.errs.SinkSigned, l.rollingN)
+			switch res.errs.RiskOutcome {
+			case RiskTP:
+				rs.tp++
+			case RiskFP:
+				rs.fp++
+			case RiskFN:
+				rs.fn++
+			case RiskTN:
+				rs.tn++
+			}
+			apes = append(apes, apePoint{key: key, at: rec.CreatedAt, ape: res.errs.SinkAPE})
+		}
+		applied++
+	}
+	// Snapshot the per-key rolling state for the unlocked gauge/series
+	// writes below.
+	counters := make([]*telemetry.Counter, 0, applied)
+	for _, res := range resolutions {
+		if rec, _, ok := l.getLocked(res.id); ok && rec.Resolved {
+			counters = append(counters, l.resolvedCounterLocked(modelKey{rec.Topology, rec.Model}))
+		}
+	}
+	l.mu.Unlock()
+
+	for _, c := range counters {
+		if c != nil {
+			c.Inc()
+		}
+	}
+	seriesAt := l.seriesNow()
+	if l.db != nil {
+		for _, p := range apes {
+			// On a unified clock the record's creation instant is the
+			// natural stamp; when the series clock diverges (frozen demo
+			// clock) use the cycle instant so points stay in window.
+			at := p.at
+			if !seriesAt.Equal(now) {
+				at = seriesAt
+			}
+			l.db.Append(MetricAPE, tsdb.Labels{"topology": p.key.topology, "model": p.key.model}, at, p.ape)
+		}
+	}
+	l.emitSeries(now, seriesAt)
+	return applied
+}
+
+func (l *Ledger) resolvedCounterLocked(key modelKey) *telemetry.Counter {
+	c := l.resolvedC[key]
+	if c == nil && l.reg != nil {
+		c = l.reg.Counter(MetricResolved, telemetry.Labels{"topology": key.topology, "model": key.model})
+		l.resolvedC[key] = c
+	}
+	return c
+}
+
+// observe queries the provider for one record's actuals. ok is false
+// when the observation window has no usable data yet (retry later).
+func (l *Ledger) observe(rec Record) (Observed, bool) {
+	start := rec.CreatedAt.Add(-l.observeWindow)
+	end := rec.CreatedAt
+	sink := rec.Predicted.Sink
+	if sink == "" {
+		sink = rec.Predicted.Bottleneck
+	}
+	if sink == "" {
+		return Observed{}, false
+	}
+	ws, err := l.provider.ComponentWindows(rec.Topology, sink, start, end)
+	if err != nil || len(ws) == 0 {
+		return Observed{}, false
+	}
+	ss, err := metrics.Summarise(ws, 0)
+	if err != nil {
+		return Observed{}, false
+	}
+	obs := Observed{
+		Start:   start,
+		End:     end,
+		Windows: ss.Windows,
+		// Execute is a raw count per rollup window; scale to
+		// tuples/minute, the model's unit.
+		SinkTPM: ss.Execute * float64(time.Minute) / float64(l.metricsWindow),
+	}
+	// Backpressure: mean per-window topology backpressure time against
+	// the calibration saturation threshold. A missing series means the
+	// writer observed none.
+	if pts, err := l.provider.TopologyBackpressureMs(rec.Topology, start, end); err == nil && len(pts) > 0 {
+		var sum float64
+		for _, p := range pts {
+			sum += p.V
+		}
+		obs.BackpressureMsPerWindow = sum / float64(len(pts))
+	} else if err != nil && !errors.Is(err, metrics.ErrNoData) {
+		return Observed{}, false
+	}
+	obs.Backpressure = obs.BackpressureMsPerWindow >= l.satBpMs
+	// CPU: sum observed component loads over the calibrated components
+	// (the same set TotalCPU was predicted over).
+	for _, cc := range rec.Calibration {
+		cws, err := l.provider.ComponentWindows(rec.Topology, cc.Component, start, end)
+		if err != nil || len(cws) == 0 {
+			continue
+		}
+		if css, err := metrics.Summarise(cws, 0); err == nil {
+			obs.TotalCPUCores += css.CPULoad
+		}
+	}
+	return obs, true
+}
+
+// computeErrors derives one audited record's error metrics. Relative
+// errors follow the experiments package's relErr convention exactly:
+// divided by the observed value, absolute when it is zero.
+func computeErrors(pred Predicted, obs Observed) *Errors {
+	e := &Errors{
+		SinkAPE:    relErr(pred.SinkTPM, obs.SinkTPM),
+		SinkSigned: signedRelErr(pred.SinkTPM, obs.SinkTPM),
+		CPUSigned:  signedRelErr(pred.TotalCPUCores, obs.TotalCPUCores),
+	}
+	predHigh := pred.Risk == "high"
+	switch {
+	case predHigh && obs.Backpressure:
+		e.RiskOutcome = RiskTP
+	case predHigh && !obs.Backpressure:
+		e.RiskOutcome = RiskFP
+	case !predHigh && obs.Backpressure:
+		e.RiskOutcome = RiskFN
+	default:
+		e.RiskOutcome = RiskTN
+	}
+	return e
+}
+
+// relErr is |got−want|/want, or |got| when want is zero — the same
+// convention as the experiments package, which the closed-loop
+// accuracy test depends on matching to 1e-9.
+func relErr(got, want float64) float64 {
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	if want == 0 {
+		return d
+	}
+	return d / want
+}
+
+func signedRelErr(got, want float64) float64 {
+	if want == 0 {
+		return got
+	}
+	return (got - want) / want
+}
+
+// appendTrim appends v and keeps only the last n values.
+func appendTrim(s []float64, v float64, n int) []float64 {
+	s = append(s, v)
+	if len(s) > n {
+		copy(s, s[len(s)-n:])
+		s = s[:n]
+	}
+	return s
+}
+
+// emitSeries refreshes the rolling gauges and appends the rolling
+// caladrius_model_* series. now is the record clock (ages are computed
+// on it); seriesAt stamps the appended points.
+func (l *Ledger) emitSeries(now, seriesAt time.Time) {
+	type keyState struct {
+		key                     modelKey
+		mape, signed, prec, rec float64
+		haveRolling             bool
+		mapeG, signedG, pG, rG  *telemetry.Gauge
+	}
+	l.mu.Lock()
+	states := make([]keyState, 0, len(l.rolling))
+	for key, rs := range l.rolling {
+		st := keyState{key: key}
+		if len(rs.ape) > 0 {
+			st.haveRolling = true
+			st.mape = mean(rs.ape)
+			st.signed = mean(rs.signed)
+		}
+		st.prec, st.rec = PrecisionRecall(rs.tp, rs.fp, rs.fn)
+		if rs.audited > 0 && l.reg != nil {
+			labels := telemetry.Labels{"topology": key.topology, "model": key.model}
+			if l.mapeG[key] == nil {
+				l.mapeG[key] = l.reg.Gauge(MetricMAPE, labels)
+				l.signedG[key] = l.reg.Gauge(MetricSignedError, labels)
+				l.precG[key] = l.reg.Gauge(MetricPrecision, labels)
+				l.recG[key] = l.reg.Gauge(MetricRecall, labels)
+			}
+			st.mapeG, st.signedG = l.mapeG[key], l.signedG[key]
+			st.pG, st.rG = l.precG[key], l.recG[key]
+		}
+		states = append(states, st)
+	}
+	ages := make(map[string]float64, len(l.lastCalibration))
+	ageGauges := make(map[string]*telemetry.Gauge, len(l.lastCalibration))
+	for topo, at := range l.lastCalibration {
+		ages[topo] = now.Sub(at).Seconds()
+		ageGauges[topo] = l.calAgeGaugeLocked(topo)
+	}
+	l.mu.Unlock()
+
+	for _, st := range states {
+		if !st.haveRolling {
+			continue
+		}
+		if st.mapeG != nil {
+			st.mapeG.Set(st.mape)
+			st.signedG.Set(st.signed)
+			st.pG.Set(st.prec)
+			st.rG.Set(st.rec)
+		}
+		if l.db != nil {
+			labels := tsdb.Labels{"topology": st.key.topology, "model": st.key.model}
+			l.db.Append(MetricMAPE, labels, seriesAt, st.mape)
+			l.db.Append(MetricSignedError, labels, seriesAt, st.signed)
+			l.db.Append(MetricPrecision, labels, seriesAt, st.prec)
+			l.db.Append(MetricRecall, labels, seriesAt, st.rec)
+		}
+	}
+	for topo, age := range ages {
+		if g := ageGauges[topo]; g != nil {
+			g.Set(age)
+		}
+		if l.db != nil {
+			l.db.Append(MetricCalibrationAge, tsdb.Labels{"topology": topo}, seriesAt, age)
+		}
+	}
+}
+
+// Run ticks ResolveOnce every interval until the context is done,
+// stamping each cycle with the ledger clock.
+func (l *Ledger) Run(done <-chan struct{}, interval time.Duration) {
+	if interval <= 0 {
+		interval = 15 * time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-t.C:
+			l.ResolveOnce(l.now())
+		}
+	}
+}

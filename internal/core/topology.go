@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"caladrius/internal/topology"
 )
@@ -63,6 +64,12 @@ type TopologyModel struct {
 	// RiskMargin widens the high-risk band of Eq. 14: the risk is high
 	// when t₀ ≥ (1 − RiskMargin)·t′₀. Default 0.1.
 	RiskMargin float64
+
+	// calSnap memoizes CalibrationSnapshot (see observe.go): the
+	// snapshot is immutable and shared by every audit record emitted
+	// from this model.
+	calSnapOnce sync.Once
+	calSnap     []ComponentCalibration
 }
 
 // NewTopologyModel validates that every component has a model and

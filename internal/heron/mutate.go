@@ -1,0 +1,34 @@
+package heron
+
+import "fmt"
+
+// SetRouteAlpha changes the I/O coefficient of every route from
+// component to dest, across all instances, to alpha. It models a
+// mid-run workload shift — e.g. average sentence length changing under
+// a word-count splitter — and is the lever the model-drift tests use
+// to pull the simulator away from a calibration.
+//
+// The simulation is single-goroutine: call this only between Run
+// invocations. It returns an error when alpha is negative or no such
+// route exists.
+func (s *Simulation) SetRouteAlpha(component, dest string, alpha float64) error {
+	if alpha < 0 {
+		return fmt.Errorf("heron: negative route alpha %g", alpha)
+	}
+	found := false
+	for _, inst := range s.instances {
+		if inst.id.Component != component {
+			continue
+		}
+		for i := range inst.routes {
+			if inst.routes[i].toComponent == dest {
+				inst.routes[i].alpha = alpha
+				found = true
+			}
+		}
+	}
+	if !found {
+		return fmt.Errorf("heron: no route %s->%s", component, dest)
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package heron_test
+
+import (
+	"testing"
+	"time"
+
+	"caladrius/internal/heron"
+	"caladrius/internal/metrics"
+)
+
+func TestSetRouteAlphaErrors(t *testing.T) {
+	sim, err := heron.NewWordCount(heron.WordCountOptions{RatePerMinute: 1e6})
+	if err != nil {
+		t.Fatalf("heron.NewWordCount: %v", err)
+	}
+	if err := sim.SetRouteAlpha("splitter", "counter", -1); err == nil {
+		t.Fatal("negative alpha accepted")
+	}
+	if err := sim.SetRouteAlpha("splitter", "nowhere", 2); err == nil {
+		t.Fatal("unknown destination accepted")
+	}
+	if err := sim.SetRouteAlpha("nowhere", "counter", 2); err == nil {
+		t.Fatal("unknown source accepted")
+	}
+	if err := sim.SetRouteAlpha("splitter", "counter", 2); err != nil {
+		t.Fatalf("valid mutation rejected: %v", err)
+	}
+}
+
+// TestSetRouteAlphaShiftsThroughput: doubling the splitter's I/O
+// coefficient mid-run roughly doubles the counter's arrival rate — the
+// workload-shift lever the model-drift tests rely on.
+func TestSetRouteAlphaShiftsThroughput(t *testing.T) {
+	sim, err := heron.NewWordCount(heron.WordCountOptions{
+		SplitterP:     3,
+		CounterP:      4,
+		RatePerMinute: 5e6,
+	})
+	if err != nil {
+		t.Fatalf("heron.NewWordCount: %v", err)
+	}
+	prov, err := metrics.NewTSDBProvider(sim.DB(), time.Minute)
+	if err != nil {
+		t.Fatalf("provider: %v", err)
+	}
+	if err := sim.Run(10 * time.Minute); err != nil {
+		t.Fatalf("sim.Run: %v", err)
+	}
+	before := counterRate(t, prov, sim.Start().Add(5*time.Minute), sim.Start().Add(10*time.Minute))
+
+	newAlpha := 2 * heron.SplitterAlpha
+	if err := sim.SetRouteAlpha("splitter", "counter", newAlpha); err != nil {
+		t.Fatalf("SetRouteAlpha: %v", err)
+	}
+	if err := sim.Run(10 * time.Minute); err != nil {
+		t.Fatalf("sim.Run: %v", err)
+	}
+	after := counterRate(t, prov, sim.Start().Add(15*time.Minute), sim.Start().Add(20*time.Minute))
+
+	ratio := after / before
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("counter rate before %.0f, after %.0f: ratio %.3f, want ≈2 after doubling alpha", before, after, ratio)
+	}
+}
+
+func counterRate(t *testing.T, prov metrics.Provider, start, end time.Time) float64 {
+	t.Helper()
+	ws, err := prov.ComponentWindows("word-count", "counter", start, end)
+	if err != nil {
+		t.Fatalf("ComponentWindows: %v", err)
+	}
+	ss, err := metrics.Summarise(ws, 0)
+	if err != nil {
+		t.Fatalf("Summarise: %v", err)
+	}
+	return ss.Execute
+}

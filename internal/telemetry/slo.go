@@ -275,3 +275,39 @@ func DefaultSLORules() []Rule {
 		},
 	}
 }
+
+// ModelAccuracyRules returns the two SLO rules fed by the prediction
+// audit ledger's caladrius_model_* series (internal/audit). The metric
+// names are written out rather than imported so telemetry stays
+// dependency-free of audit.
+//
+// mapeThreshold is the rolling MAPE above which model accuracy counts
+// as drifted (e.g. 0.25 = 25% mean error); staleAfter is how old a
+// topology's calibration may grow before the stale-calibration rule
+// fires. window bounds how far back each rule looks for its latest
+// value — size it to a few resolver cycles.
+func ModelAccuracyRules(mapeThreshold float64, staleAfter, window time.Duration) []Rule {
+	if window <= 0 {
+		window = 15 * time.Minute
+	}
+	return []Rule{
+		{
+			Name:        "model-accuracy-drift",
+			Description: "rolling prediction MAPE above threshold — the model's view of the topology has drifted from its observed behaviour",
+			Metric:      "caladrius_model_mape",
+			Agg:         tsdb.AggLast,
+			Window:      window,
+			Op:          OpGreater,
+			Threshold:   mapeThreshold,
+		},
+		{
+			Name:        "model-stale-calibration",
+			Description: "topology model calibration older than the staleness budget",
+			Metric:      "caladrius_model_calibration_age_seconds",
+			Agg:         tsdb.AggLast,
+			Window:      window,
+			Op:          OpGreater,
+			Threshold:   staleAfter.Seconds(),
+		},
+	}
+}

@@ -2,7 +2,8 @@
 # Full verification recipe: build, static checks, the whole test
 # suite, then the race detector over the concurrency-heavy packages
 # (the scraper/SLO pipeline, the instrumented API, the TSDB, the
-# parallel sweep engine and the simulator it fans out).
+# parallel sweep engine and the simulator it fans out, and the audit
+# ledger with its background resolver).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,5 +11,6 @@ go build ./...
 go vet ./...
 go test ./...
 go test -race ./internal/telemetry ./internal/api ./internal/tsdb
+go test -race ./internal/audit
 go test -race ./internal/experiments ./internal/heron
 echo "verify: all checks passed"
