@@ -22,6 +22,7 @@ import (
 
 	"caladrius/internal/api"
 	"caladrius/internal/audit"
+	"caladrius/internal/chaos"
 	"caladrius/internal/config"
 	"caladrius/internal/core"
 	"caladrius/internal/experiments"
@@ -144,6 +145,42 @@ func BenchmarkSimulatorMinute(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sim.Run(time.Minute); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorMinuteWithInjector measures the same minute with a
+// fault injector attached whose plan never fires inside the benchmark
+// horizon — the per-tick cost of the chaos hook itself. The fault-free
+// overhead budget is <5% over BenchmarkSimulatorMinute at 0 allocs/op;
+// scripts/bench.sh records the measured ratio in BENCH_core.json.
+func BenchmarkSimulatorMinuteWithInjector(b *testing.B) {
+	sim, err := heron.NewWordCount(heron.WordCountOptions{RatePerMinute: 8e6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	top, err := heron.WordCountTopology(8, 1, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pack, err := topology.RoundRobinPack(top, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan := &chaos.Plan{Faults: []chaos.Fault{{
+		Kind: chaos.FaultSlow, At: chaos.Duration(10_000 * time.Hour),
+		Duration: chaos.Duration(time.Minute), Component: "splitter", Instance: 0, Factor: 0.5,
+	}}}
+	inj, err := chaos.NewInjector(plan, top, pack)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim.WithFaultInjector(inj)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

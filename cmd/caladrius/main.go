@@ -82,6 +82,9 @@ func run() error {
 	auditFile := flag.String("audit-file", "", "persist the audit ledger to this file on shutdown and reload it on boot")
 	driftThreshold := flag.Float64("drift-threshold", 0.25, "rolling MAPE above which the model-accuracy-drift SLO fires")
 	staleAfter := flag.Duration("stale-calibration-after", 30*time.Minute, "calibration age at which the model-stale-calibration SLO fires")
+	fetchRetries := flag.Int("fetch-retries", -1, "metrics fetch retries on transient failure; 0 disables, -1 uses the config value")
+	fetchBackoff := flag.Duration("fetch-backoff", -1, "delay before the first fetch retry (doubles each retry); -1 uses the config value")
+	fetchTimeout := flag.Duration("fetch-timeout", -1, "per-attempt metrics fetch bound; 0 disables, -1 uses the config value")
 	flag.Parse()
 
 	cfg := config.Default()
@@ -94,6 +97,15 @@ func run() error {
 	}
 	if *addr != "" {
 		cfg.APIAddr = *addr
+	}
+	if *fetchRetries >= 0 {
+		cfg.FetchRetries = *fetchRetries
+	}
+	if *fetchBackoff >= 0 {
+		cfg.FetchBackoff = *fetchBackoff
+	}
+	if *fetchTimeout >= 0 {
+		cfg.FetchTimeout = *fetchTimeout
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	reg := telemetry.NewRegistry()
@@ -144,9 +156,18 @@ func run() error {
 	if err := tr.Register(top, plan); err != nil {
 		return err
 	}
-	provider, err := metrics.NewTSDBProvider(db, cfg.MetricsWindow)
+	tsdbProvider, err := metrics.NewTSDBProvider(db, cfg.MetricsWindow)
 	if err != nil {
 		return err
+	}
+	var provider metrics.Provider = tsdbProvider
+	if cfg.FetchRetries > 0 || cfg.FetchTimeout > 0 {
+		rc := metrics.RetryConfig{Retries: cfg.FetchRetries, Backoff: cfg.FetchBackoff, Timeout: cfg.FetchTimeout}
+		if rc.Retries == 0 {
+			rc.Retries = -1 // timeout-only policy: 0 would mean "use the default retry count"
+		}
+		provider = metrics.NewRetryingProvider(tsdbProvider, rc, reg)
+		logger.Info("metrics fetch policy", "retries", cfg.FetchRetries, "backoff", cfg.FetchBackoff, "timeout", cfg.FetchTimeout)
 	}
 	if *metricsFile == "" && cfg.CalibrationLookback > time.Duration(*warmMinutes)*time.Minute {
 		// Simulated history is only warm-minutes long.

@@ -1,52 +1,76 @@
 // Command heronsim runs the Heron-like simulator standalone: it deploys
 // the paper's word-count topology with the given parallelisms and
 // offered rate, simulates it to steady state, and prints the per-minute
-// component metrics as a table or CSV.
+// component metrics as a table or CSV. A fault plan (-faults) replays a
+// deterministic chaos schedule against the run; the fault trace goes to
+// stderr so piped CSV output stays clean.
 //
 // Usage:
 //
 //	heronsim [-rate 15e6] [-spout 8] [-splitter 1] [-counter 3]
-//	         [-minutes 10] [-csv] [-snapshot]
+//	         [-minutes 10] [-csv] [-snapshot] [-faults plan.json]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
+	"caladrius/internal/chaos"
 	"caladrius/internal/heron"
 	"caladrius/internal/metrics"
+	"caladrius/internal/topology"
 	"caladrius/internal/workload"
 )
 
+// options carries everything run needs, so tests can drive it without
+// the flag package or process-global streams.
+type options struct {
+	rate       float64
+	tracePath  string
+	faultsPath string
+	spoutP     int
+	splitterP  int
+	counterP   int
+	containers int
+	minutes    int
+	csv        bool
+	snapshot   bool
+	save       string
+}
+
 func main() {
-	if err := run(); err != nil {
+	var o options
+	flag.Float64Var(&o.rate, "rate", 15e6, "offered source rate (tuples/minute); ignored with -trace")
+	flag.StringVar(&o.tracePath, "trace", "", "CSV traffic trace (elapsed,tuples_per_minute) to replay instead of a constant rate")
+	flag.StringVar(&o.faultsPath, "faults", "", "JSON fault plan (chaos schedule) to inject into the run")
+	flag.IntVar(&o.spoutP, "spout", 8, "spout parallelism")
+	flag.IntVar(&o.splitterP, "splitter", 1, "splitter parallelism")
+	flag.IntVar(&o.counterP, "counter", 3, "counter parallelism")
+	flag.IntVar(&o.containers, "containers", 2, "containers for round-robin packing")
+	flag.IntVar(&o.minutes, "minutes", 10, "simulated minutes")
+	flag.BoolVar(&o.csv, "csv", false, "emit CSV instead of a table")
+	flag.BoolVar(&o.snapshot, "snapshot", false, "also print final instance state")
+	flag.StringVar(&o.save, "save", "", "write the metrics database to this snapshot file (loadable by caladrius -metrics)")
+	flag.Parse()
+	if err := run(o, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "heronsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	rate := flag.Float64("rate", 15e6, "offered source rate (tuples/minute); ignored with -trace")
-	tracePath := flag.String("trace", "", "CSV traffic trace (elapsed,tuples_per_minute) to replay instead of a constant rate")
-	spoutP := flag.Int("spout", 8, "spout parallelism")
-	splitterP := flag.Int("splitter", 1, "splitter parallelism")
-	counterP := flag.Int("counter", 3, "counter parallelism")
-	minutes := flag.Int("minutes", 10, "simulated minutes")
-	csv := flag.Bool("csv", false, "emit CSV instead of a table")
-	snapshot := flag.Bool("snapshot", false, "also print final instance state")
-	save := flag.String("save", "", "write the metrics database to this snapshot file (loadable by caladrius -metrics)")
-	flag.Parse()
-
+func run(o options, out, errOut io.Writer) error {
 	opts := heron.WordCountOptions{
-		SpoutP:        *spoutP,
-		SplitterP:     *splitterP,
-		CounterP:      *counterP,
-		RatePerMinute: *rate,
+		SpoutP:        o.spoutP,
+		SplitterP:     o.splitterP,
+		CounterP:      o.counterP,
+		Containers:    o.containers,
+		RatePerMinute: o.rate,
 	}
-	if *tracePath != "" {
-		f, err := os.Open(*tracePath)
+	if o.tracePath != "" {
+		f, err := os.Open(o.tracePath)
 		if err != nil {
 			return err
 		}
@@ -61,19 +85,47 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if err := sim.Run(time.Duration(*minutes) * time.Minute); err != nil {
+	var inj *chaos.Injector
+	if o.faultsPath != "" {
+		data, err := os.ReadFile(o.faultsPath)
+		if err != nil {
+			return err
+		}
+		plan, err := chaos.ParsePlan(data)
+		if err != nil {
+			return err
+		}
+		top, err := heron.WordCountTopology(o.spoutP, o.splitterP, o.counterP)
+		if err != nil {
+			return err
+		}
+		pack, err := topology.RoundRobinPack(top, o.containers)
+		if err != nil {
+			return err
+		}
+		if inj, err = chaos.NewInjector(plan, top, pack); err != nil {
+			return err
+		}
+		sim.WithFaultInjector(inj)
+	}
+	if err := sim.Run(time.Duration(o.minutes) * time.Minute); err != nil {
 		return err
+	}
+	if inj != nil {
+		if trace := inj.Trace(); trace != "" {
+			fmt.Fprint(errOut, trace)
+		}
 	}
 	prov, err := metrics.NewTSDBProvider(sim.DB(), time.Minute)
 	if err != nil {
 		return err
 	}
-	start, end := sim.Start(), sim.Start().Add(time.Duration(*minutes)*time.Minute)
+	start, end := sim.Start(), sim.Start().Add(time.Duration(o.minutes)*time.Minute)
 
-	if *csv {
-		fmt.Println("minute,component,source,arrival,execute,emit,backpressure_ms,cpu_cores")
+	if o.csv {
+		fmt.Fprintln(out, "minute,component,source,arrival,execute,emit,backpressure_ms,cpu_cores")
 	} else {
-		fmt.Printf("%-7s %-10s %14s %14s %14s %14s %10s %9s\n",
+		fmt.Fprintf(out, "%-7s %-10s %14s %14s %14s %14s %10s %9s\n",
 			"minute", "component", "source", "arrival", "execute", "emit", "bp_ms", "cpu")
 	}
 	for _, comp := range []string{"spout", "splitter", "counter"} {
@@ -82,27 +134,27 @@ func run() error {
 			return err
 		}
 		for i, w := range ws {
-			if *csv {
-				fmt.Printf("%d,%s,%.0f,%.0f,%.0f,%.0f,%.0f,%.3f\n",
+			if o.csv {
+				fmt.Fprintf(out, "%d,%s,%.0f,%.0f,%.0f,%.0f,%.0f,%.3f\n",
 					i, comp, w.Source, w.Arrival, w.Execute, w.Emit, w.BackpressureMs, w.CPULoad)
 			} else {
-				fmt.Printf("%-7d %-10s %14.0f %14.0f %14.0f %14.0f %10.0f %9.3f\n",
+				fmt.Fprintf(out, "%-7d %-10s %14.0f %14.0f %14.0f %14.0f %10.0f %9.3f\n",
 					i, comp, w.Source, w.Arrival, w.Execute, w.Emit, w.BackpressureMs, w.CPULoad)
 			}
 		}
 	}
-	if *snapshot {
-		fmt.Println("\nfinal instance state:")
+	if o.snapshot {
+		fmt.Fprintln(out, "\nfinal instance state:")
 		for _, s := range sim.Snapshot() {
-			fmt.Printf("  %-14s container=%d queue=%.0f tuples pending=%.1f MB backlog=%.0f bp=%v\n",
+			fmt.Fprintf(out, "  %-14s container=%d queue=%.0f tuples pending=%.1f MB backlog=%.0f bp=%v\n",
 				s.ID, s.Container, s.QueueTuples, s.PendingBytes/1e6, s.Backlog, s.InBackpressure)
 		}
 	}
-	if *save != "" {
-		if err := sim.DB().SaveFile(*save); err != nil {
+	if o.save != "" {
+		if err := sim.DB().SaveFile(o.save); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "metrics snapshot written to %s\n", *save)
+		fmt.Fprintf(errOut, "metrics snapshot written to %s\n", o.save)
 	}
 	return nil
 }

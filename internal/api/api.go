@@ -33,6 +33,7 @@ import (
 	"log/slog"
 	"math"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -335,7 +336,7 @@ func (s *Service) handleTopology(w http.ResponseWriter, r *http.Request) {
 		if action == "graph" {
 			resp, err := s.graphInfo(topoName)
 			if err != nil {
-				httpError(w, statusFor(err), err.Error())
+				writeError(w, err)
 				return
 			}
 			writeJSON(w, http.StatusOK, resp)
@@ -343,7 +344,7 @@ func (s *Service) handleTopology(w http.ResponseWriter, r *http.Request) {
 		}
 		tm, err := s.topologyModel(r.Context(), topoName, time.Time{})
 		if err != nil {
-			httpError(w, statusFor(err), err.Error())
+			writeError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, modelJSON(topoName, tm))
@@ -446,7 +447,7 @@ func (s *Service) dispatch(w http.ResponseWriter, r *http.Request, op string, fn
 		w.Header().Set(TraceHeader, root.TraceID())
 		if err != nil {
 			s.logger.Warn("model request failed", "path", r.URL.Path, "err", err)
-			httpError(w, statusFor(err), err.Error())
+			writeError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, result)
@@ -650,7 +651,7 @@ func (s *Service) topologyModel(ctx context.Context, topoName string, asOf time.
 	// Topology-aware calibration attributes backpressure to the true
 	// bottleneck, discarding the spurious upstream backpressure that
 	// burst-resume cycles induce.
-	models, err := core.CalibrateTopologyFromProvider(s.provider, info.Topology, start, asOf, core.CalibrationOptions{
+	models, crep, err := core.CalibrateTopologyFromProviderReport(s.provider, info.Topology, start, asOf, core.CalibrationOptions{
 		Warmup: s.cfg.CalibrationWarmup,
 		Window: s.cfg.MetricsWindow,
 		Stages: telemetry.SpanFromContext(ctx),
@@ -661,6 +662,15 @@ func (s *Service) topologyModel(ctx context.Context, topoName string, asOf time.
 	tm, err := core.NewTopologyModel(info.Topology, models)
 	if err != nil {
 		return nil, err
+	}
+	// A calibration that had to widen past metric gaps, or still ran on
+	// sparse windows, is kept — but every prediction it makes is
+	// flagged degraded in the audit ledger.
+	tm.Degraded = crep.Degraded
+	if crep.Degraded {
+		sp.SetAttr("degraded", "true")
+		s.logger.Warn("degraded calibration", "topology", topoName,
+			"widened", crep.Widened.String(), "sparse", strings.Join(crep.Sparse, ","))
 	}
 	// Warm the graph cache alongside the model: analyses use both.
 	if _, _, err := s.graphs.Get(info.Topology, info.Plan); err != nil {
@@ -901,11 +911,31 @@ func statusFor(err error) int {
 	switch {
 	case errors.Is(err, tracker.ErrNotFound):
 		return http.StatusNotFound
+	case errors.Is(err, metrics.ErrUnavailable):
+		// Transient backend unavailability: the caller should retry,
+		// not treat the request as failed for good. ErrUnavailable is
+		// checked before ErrNoData — a wrapped unavailability error is
+		// not an empty range.
+		return http.StatusServiceUnavailable
 	case errors.Is(err, tsdb.ErrNoData), errors.Is(err, core.ErrNotCalibrated), errors.Is(err, forecast.ErrInsufficentData):
 		return http.StatusUnprocessableEntity
 	default:
 		return http.StatusInternalServerError
 	}
+}
+
+// RetryAfterSeconds is the Retry-After hint attached to 503 responses.
+const RetryAfterSeconds = 5
+
+// writeError maps err onto an HTTP error response; 503s carry a
+// Retry-After header so well-behaved clients back off instead of
+// hammering a provider that is already down.
+func writeError(w http.ResponseWriter, err error) {
+	status := statusFor(err)
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", strconv.Itoa(RetryAfterSeconds))
+	}
+	httpError(w, status, err.Error())
 }
 
 func httpError(w http.ResponseWriter, status int, msg string) {

@@ -47,6 +47,7 @@ func (r ledgerRecorder) RecordRun(run core.ModelRun) {
 		SourceRateTPM:  run.SourceRate,
 		Parallelism:    run.Parallelism,
 		Counterfactual: r.counterfactual,
+		Degraded:       run.Degraded,
 		Calibration:    run.Calibration,
 		Predicted: audit.Predicted{
 			SinkTPM:             p.SinkThroughput,

@@ -1,0 +1,64 @@
+package api
+
+import (
+	"net/url"
+	"testing"
+	"time"
+)
+
+// FuzzParseQueryRange throws arbitrary raw query strings at the
+// query_range parameter parser. The parser must never panic, and every
+// accepted query must satisfy the invariants the handler relies on:
+// non-empty metric, start ≤ end, positive step, bounded bucket count,
+// known aggregations, and no reserved key leaking into the selector.
+func FuzzParseQueryRange(f *testing.F) {
+	seeds := []string{
+		"",
+		"metric=caladrius_http_requests_total",
+		"metric=m&start=2026-01-05T00:00:00Z&end=2026-01-05T01:00:00Z&window=1h&step=30s&agg=mean&merge=sum",
+		"metric=m&start=1767571200&end=1767574800.5",
+		"metric=m&window=-5m",
+		"metric=m&step=banana",
+		"metric=m&start=2026-01-05T00:00:00Z&end=1970-01-01T00:00:00Z",
+		"metric=m&end=9999999999999999999999",
+		"metric=m&step=1ns&window=10000h",
+		"metric=m&agg=p99&merge=avg",
+		"metric=m&route=/api/v1/health&le=%2BInf&sync=true",
+		"metric=m&start=NaN&end=Inf",
+		"metric=&step=0s",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	now := time.Date(2026, 1, 5, 12, 0, 0, 0, time.UTC)
+	f.Fuzz(func(t *testing.T, raw string) {
+		q, err := url.ParseQuery(raw)
+		if err != nil {
+			return // not a parseable query string; nothing to check
+		}
+		rq, err := parseQueryRange(q, now)
+		if err != nil {
+			return // rejection is always acceptable; panics are not
+		}
+		if rq.Metric == "" {
+			t.Errorf("%q: accepted with empty metric", raw)
+		}
+		if rq.Start.After(rq.End) {
+			t.Errorf("%q: accepted with start %s after end %s", raw, rq.Start, rq.End)
+		}
+		if rq.Step <= 0 {
+			t.Errorf("%q: accepted with non-positive step %s", raw, rq.Step)
+		}
+		if buckets := rq.End.Sub(rq.Start) / rq.Step; buckets > maxRangeBuckets {
+			t.Errorf("%q: accepted with %d buckets (max %d)", raw, buckets, maxRangeBuckets)
+		}
+		if !validAgg(rq.Agg) || !validAgg(rq.Merge) {
+			t.Errorf("%q: accepted with agg %q merge %q", raw, rq.Agg, rq.Merge)
+		}
+		for k := range rq.Sel {
+			if reservedRangeParams[k] {
+				t.Errorf("%q: reserved parameter %q leaked into the label selector", raw, k)
+			}
+		}
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"net/url"
 	"strconv"
 	"time"
 
@@ -90,6 +91,81 @@ func parseRangeTime(s string) (time.Time, error) {
 	return time.Time{}, fmt.Errorf("bad time %q (want RFC3339 or unix seconds)", s)
 }
 
+// rangeQuery is the validated form of a query_range request.
+type rangeQuery struct {
+	Metric     string
+	Start, End time.Time
+	Step       time.Duration
+	Agg, Merge tsdb.Agg
+	Sel        tsdb.Labels
+}
+
+// parseQueryRange validates query_range parameters. `now` supplies the
+// default end so the function stays pure (and fuzzable). Every error it
+// returns is a client error — the handler maps them all to 400.
+func parseQueryRange(q url.Values, now time.Time) (rangeQuery, error) {
+	var rq rangeQuery
+	rq.Metric = q.Get("metric")
+	if rq.Metric == "" {
+		return rq, errors.New("missing metric parameter")
+	}
+	rq.End = now
+	if v := q.Get("end"); v != "" {
+		var err error
+		if rq.End, err = parseRangeTime(v); err != nil {
+			return rq, errors.New("end: " + err.Error())
+		}
+	}
+	window := 15 * time.Minute
+	if v := q.Get("window"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			return rq, fmt.Errorf("bad window %q", v)
+		}
+		window = d
+	}
+	rq.Start = rq.End.Add(-window)
+	if v := q.Get("start"); v != "" {
+		var err error
+		if rq.Start, err = parseRangeTime(v); err != nil {
+			return rq, errors.New("start: " + err.Error())
+		}
+	}
+	if rq.Start.After(rq.End) {
+		return rq, errors.New("start must not be after end")
+	}
+	rq.Step = 30 * time.Second
+	if v := q.Get("step"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			return rq, fmt.Errorf("step must be a positive duration, got %q", v)
+		}
+		rq.Step = d
+	}
+	// Bound the bucket count so a tiny step over a huge range cannot
+	// materialise millions of points.
+	if buckets := rq.End.Sub(rq.Start) / rq.Step; buckets > maxRangeBuckets {
+		return rq, fmt.Errorf("step %s over range %s yields %d buckets (max %d)", rq.Step, rq.End.Sub(rq.Start), buckets, maxRangeBuckets)
+	}
+	rq.Agg, rq.Merge = tsdb.AggMean, tsdb.AggSum
+	if v := q.Get("agg"); v != "" {
+		rq.Agg = tsdb.Agg(v)
+	}
+	if v := q.Get("merge"); v != "" {
+		rq.Merge = tsdb.Agg(v)
+	}
+	if !validAgg(rq.Agg) || !validAgg(rq.Merge) {
+		return rq, fmt.Errorf("unknown aggregation %q/%q", rq.Agg, rq.Merge)
+	}
+	rq.Sel = tsdb.Labels{}
+	for k, vs := range q {
+		if !reservedRangeParams[k] && len(vs) > 0 {
+			rq.Sel[k] = vs[0]
+		}
+	}
+	return rq, nil
+}
+
 func (s *Service) handleQueryRange(w http.ResponseWriter, r *http.Request) {
 	if s.history == nil {
 		httpError(w, http.StatusNotFound, "self-monitoring disabled: service has no history store")
@@ -99,84 +175,22 @@ func (s *Service) handleQueryRange(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	q := r.URL.Query()
-	metric := q.Get("metric")
-	if metric == "" {
-		httpError(w, http.StatusBadRequest, "missing metric parameter")
+	rq, err := parseQueryRange(r.URL.Query(), time.Now().UTC())
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
 		return
-	}
-	end := time.Now().UTC()
-	if v := q.Get("end"); v != "" {
-		var err error
-		if end, err = parseRangeTime(v); err != nil {
-			httpError(w, http.StatusBadRequest, "end: "+err.Error())
-			return
-		}
-	}
-	window := 15 * time.Minute
-	if v := q.Get("window"); v != "" {
-		d, err := time.ParseDuration(v)
-		if err != nil || d <= 0 {
-			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad window %q", v))
-			return
-		}
-		window = d
-	}
-	start := end.Add(-window)
-	if v := q.Get("start"); v != "" {
-		var err error
-		if start, err = parseRangeTime(v); err != nil {
-			httpError(w, http.StatusBadRequest, "start: "+err.Error())
-			return
-		}
-	}
-	if start.After(end) {
-		httpError(w, http.StatusBadRequest, "start must not be after end")
-		return
-	}
-	step := 30 * time.Second
-	if v := q.Get("step"); v != "" {
-		d, err := time.ParseDuration(v)
-		if err != nil || d <= 0 {
-			httpError(w, http.StatusBadRequest, fmt.Sprintf("step must be a positive duration, got %q", v))
-			return
-		}
-		step = d
-	}
-	// Bound the bucket count so a tiny step over a huge range cannot
-	// materialise millions of points.
-	if buckets := end.Sub(start) / step; buckets > maxRangeBuckets {
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("step %s over range %s yields %d buckets (max %d)", step, end.Sub(start), buckets, maxRangeBuckets))
-		return
-	}
-	agg, merge := tsdb.AggMean, tsdb.AggSum
-	if v := q.Get("agg"); v != "" {
-		agg = tsdb.Agg(v)
-	}
-	if v := q.Get("merge"); v != "" {
-		merge = tsdb.Agg(v)
-	}
-	if !validAgg(agg) || !validAgg(merge) {
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown aggregation %q/%q", agg, merge))
-		return
-	}
-	sel := tsdb.Labels{}
-	for k, vs := range q {
-		if !reservedRangeParams[k] && len(vs) > 0 {
-			sel[k] = vs[0]
-		}
 	}
 	resp := QueryRangeResponse{
-		Metric:   metric,
-		Selector: sel,
-		Start:    start,
-		End:      end,
-		Step:     step.String(),
-		Agg:      string(agg),
-		Merge:    string(merge),
+		Metric:   rq.Metric,
+		Selector: rq.Sel,
+		Start:    rq.Start,
+		End:      rq.End,
+		Step:     rq.Step.String(),
+		Agg:      string(rq.Agg),
+		Merge:    string(rq.Merge),
 		Points:   []RangePoint{},
 	}
-	series, err := s.history.Downsample(metric, sel, start, end, step, agg, merge)
+	series, err := s.history.Downsample(rq.Metric, rq.Sel, rq.Start, rq.End, rq.Step, rq.Agg, rq.Merge)
 	if err != nil && !errors.Is(err, tsdb.ErrNoData) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return

@@ -123,6 +123,10 @@ type Record struct {
 	// hypothetical plan against the running plan's throughput would
 	// grade the model on a question it was not asked.
 	Counterfactual bool `json:"counterfactual"`
+	// Degraded marks runs whose calibration ran in degraded mode (the
+	// observe window had to be widened, or stayed sparse, because the
+	// metrics provider had gaps) — context for interpreting large APEs.
+	Degraded bool `json:"degraded,omitempty"`
 
 	// Calibration is the α/SP/ST/ψ snapshot the run was computed from
 	// (shared across records of one calibration — do not mutate).

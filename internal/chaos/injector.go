@@ -1,0 +1,145 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"caladrius/internal/heron"
+	"caladrius/internal/topology"
+)
+
+// Injector implements heron.FaultInjector for a validated Plan. It
+// expands the plan's simulator-side faults into a sorted timeline of
+// per-instance start/end boundaries at construction, so BeginTick on a
+// quiet tick is one index comparison and zero allocations. Every
+// applied boundary is appended to a textual trace: two runs of the
+// same plan under the same simulator configuration produce
+// byte-identical traces.
+//
+// An Injector carries per-run mutable state — use a fresh one per
+// Simulation.
+type Injector struct {
+	states map[topology.InstanceID]*instFaultState
+	events []faultBoundary
+	next   int
+	active int
+	trace  strings.Builder
+}
+
+type instFaultState struct {
+	fault heron.InstanceFault
+	on    bool
+}
+
+type faultBoundary struct {
+	at    time.Duration
+	start bool
+	id    topology.InstanceID
+	fault heron.InstanceFault // effect while active (start boundaries only)
+	desc  string
+}
+
+// NewInjector validates the plan and builds its boundary timeline.
+// Metrics-side faults are ignored here (see NewFaultyProvider).
+func NewInjector(plan *Plan, topo *topology.Topology, pack *topology.PackingPlan) (*Injector, error) {
+	if plan == nil {
+		return nil, fmt.Errorf("chaos: nil plan")
+	}
+	if err := plan.Validate(topo, pack); err != nil {
+		return nil, err
+	}
+	inj := &Injector{states: map[topology.InstanceID]*instFaultState{}}
+	for _, id := range topo.Instances() {
+		inj.states[id] = &instFaultState{}
+	}
+	for _, f := range plan.SimFaults() {
+		var eff heron.InstanceFault
+		switch f.Kind {
+		case FaultCrash:
+			eff = heron.InstanceFault{Down: true, DropQueue: true}
+		case FaultSlow:
+			eff = heron.InstanceFault{SlowFactor: f.Factor}
+		case FaultStall:
+			eff = heron.InstanceFault{Down: true}
+		case FaultPartition:
+			eff = heron.InstanceFault{Unreachable: true}
+		}
+		desc := f.String()
+		for _, id := range f.instancesOf(topo, pack) {
+			inj.events = append(inj.events,
+				faultBoundary{at: time.Duration(f.At), start: true, id: id, fault: eff,
+					desc: fmt.Sprintf("start %s @ %s", desc, id)},
+				faultBoundary{at: f.End(), id: id,
+					desc: fmt.Sprintf("end   %s @ %s", desc, id)})
+		}
+	}
+	// Deterministic application order: by time, ends before starts (so
+	// back-to-back faults on one instance hand over cleanly), then by
+	// instance for same-instant boundaries of container faults.
+	sortBoundaries(inj.events)
+	return inj, nil
+}
+
+func sortBoundaries(evs []faultBoundary) {
+	less := func(a, b faultBoundary) bool {
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.start != b.start {
+			return !a.start // ends first
+		}
+		if a.id.Component != b.id.Component {
+			return a.id.Component < b.id.Component
+		}
+		if a.id.Index != b.id.Index {
+			return a.id.Index < b.id.Index
+		}
+		return a.desc < b.desc
+	}
+	// Insertion sort keeps this dependency-free and stable; timelines
+	// are tiny.
+	for i := 1; i < len(evs); i++ {
+		for j := i; j > 0 && less(evs[j], evs[j-1]); j-- {
+			evs[j], evs[j-1] = evs[j-1], evs[j]
+		}
+	}
+}
+
+// BeginTick implements heron.FaultInjector: it applies every boundary
+// due at or before elapsed and reports whether any fault is active.
+func (inj *Injector) BeginTick(elapsed time.Duration) bool {
+	for inj.next < len(inj.events) && inj.events[inj.next].at <= elapsed {
+		ev := inj.events[inj.next]
+		inj.next++
+		st := inj.states[ev.id]
+		if ev.start {
+			st.fault = ev.fault
+			st.on = true
+			inj.active++
+		} else {
+			st.fault = heron.InstanceFault{}
+			st.on = false
+			inj.active--
+		}
+		fmt.Fprintf(&inj.trace, "t=%-8s %s\n", elapsed, ev.desc)
+	}
+	return inj.active > 0
+}
+
+// InstanceFault implements heron.FaultInjector. One-shot effects
+// (DropQueue) are consumed by the read, per the interface contract
+// that the simulation reads each instance exactly once per fault tick.
+func (inj *Injector) InstanceFault(id topology.InstanceID) heron.InstanceFault {
+	st, ok := inj.states[id]
+	if !ok || !st.on {
+		return heron.InstanceFault{}
+	}
+	f := st.fault
+	st.fault.DropQueue = false
+	return f
+}
+
+// Trace returns the applied-boundary log so far. Runs of the same plan
+// under the same simulator configuration yield byte-identical traces.
+func (inj *Injector) Trace() string { return inj.trace.String() }

@@ -1,0 +1,133 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"caladrius/internal/heron"
+	"caladrius/internal/topology"
+)
+
+func TestInjectorLifecycleAndOneShotDrop(t *testing.T) {
+	topo, pack := wordCountTargets(t)
+	id := topology.InstanceID{Component: "splitter", Index: 1}
+	plan := &Plan{Faults: []Fault{{
+		Kind: FaultCrash, At: Duration(time.Minute), Duration: Duration(30 * time.Second),
+		Component: id.Component, Instance: id.Index,
+	}}}
+	inj, err := NewInjector(plan, topo, pack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj.BeginTick(0) {
+		t.Error("active before onset")
+	}
+	if !inj.BeginTick(time.Minute) {
+		t.Fatal("inactive at onset")
+	}
+	f := inj.InstanceFault(id)
+	if !f.Down || !f.DropQueue {
+		t.Errorf("first read = %+v, want Down+DropQueue", f)
+	}
+	if other := inj.InstanceFault(topology.InstanceID{Component: "splitter", Index: 0}); other != (heron.InstanceFault{}) {
+		t.Errorf("untargeted instance got %+v, want zero fault", other)
+	}
+	if !inj.BeginTick(time.Minute + 100*time.Millisecond) {
+		t.Fatal("inactive mid-fault")
+	}
+	f = inj.InstanceFault(id)
+	if !f.Down || f.DropQueue {
+		t.Errorf("second read = %+v, want Down only (DropQueue is one-shot)", f)
+	}
+	if inj.BeginTick(time.Minute + 30*time.Second) {
+		t.Error("still active at the exclusive end boundary")
+	}
+	if f := inj.InstanceFault(id); f != (heron.InstanceFault{}) {
+		t.Errorf("post-fault read = %+v, want zero fault", f)
+	}
+	trace := inj.Trace()
+	if !strings.Contains(trace, "start crash splitter[1]") || !strings.Contains(trace, "end   crash splitter[1]") {
+		t.Errorf("trace missing boundaries:\n%s", trace)
+	}
+}
+
+func TestInjectorContainerFaultExpandsToInstances(t *testing.T) {
+	topo, pack := wordCountTargets(t)
+	plan := &Plan{Faults: []Fault{{Kind: FaultPartition, At: 0, Duration: Duration(time.Minute), Container: 1}}}
+	inj, err := NewInjector(plan, topo, pack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inj.BeginTick(0) {
+		t.Fatal("inactive at onset")
+	}
+	hit := 0
+	for _, id := range topo.Instances() {
+		f := inj.InstanceFault(id)
+		c, _ := pack.ContainerOf(id)
+		if c == 1 {
+			if !f.Unreachable {
+				t.Errorf("%s in partitioned container not unreachable", id)
+			}
+			hit++
+		} else if f != (heron.InstanceFault{}) {
+			t.Errorf("%s outside container got %+v", id, f)
+		}
+	}
+	if hit == 0 {
+		t.Fatal("partition fault matched no instances")
+	}
+}
+
+func TestInjectorTraceDeterministic(t *testing.T) {
+	topo, pack := wordCountTargets(t)
+	plan, err := GeneratePlan(11, topo, pack, GenOptions{Horizon: 15 * time.Minute, Faults: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() string {
+		inj, err := NewInjector(plan, topo, pack)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for el := time.Duration(0); el < 15*time.Minute; el += 100 * time.Millisecond {
+			if inj.BeginTick(el) {
+				for _, id := range topo.Instances() {
+					inj.InstanceFault(id)
+				}
+			}
+		}
+		return inj.Trace()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("same plan produced different traces:\n--- a ---\n%s--- b ---\n%s", a, b)
+	}
+	if a == "" {
+		t.Error("empty trace for a 6-fault plan")
+	}
+}
+
+func TestInjectorEndsApplyBeforeStarts(t *testing.T) {
+	topo, pack := wordCountTargets(t)
+	// Back-to-back faults on one instance: slow ends exactly when crash
+	// starts. The end boundary must apply first so the crash's state
+	// (with its one-shot drop) survives the tick.
+	plan := &Plan{Faults: []Fault{
+		{Kind: FaultSlow, At: 0, Duration: Duration(time.Minute), Component: "splitter", Instance: 0, Factor: 0.5},
+		{Kind: FaultCrash, At: Duration(time.Minute), Duration: Duration(time.Minute), Component: "splitter", Instance: 0},
+	}}
+	inj, err := NewInjector(plan, topo, pack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.BeginTick(0)
+	if !inj.BeginTick(time.Minute) {
+		t.Fatal("inactive at handover tick")
+	}
+	f := inj.InstanceFault(topology.InstanceID{Component: "splitter", Index: 0})
+	if !f.Down || !f.DropQueue || f.SlowFactor != 0 {
+		t.Errorf("handover tick fault = %+v, want the crash effect", f)
+	}
+}

@@ -1,0 +1,303 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"caladrius/internal/heron"
+	"caladrius/internal/topology"
+	"caladrius/internal/tsdb"
+)
+
+// The property suite for the fault-injection layer. For every seed and
+// every fault kind (plus a combined plan mixing all of them) it runs
+// the word-count simulation under a generated plan and asserts four
+// invariants:
+//
+//  1. conservation — the per-instance tuple ledgers balance at every
+//     checkpoint, faults included (drops are counted, never leaked);
+//  2. bimodality — outside (padded) fault windows, per-minute topology
+//     backpressure stays in the paper's two modes, ≈0 or ≈60 000 ms;
+//  3. recovery — once the last fault clears and queues drain, the run's
+//     late-window throughput returns to within ε of a fault-free twin;
+//  4. determinism — the same seed yields a byte-identical fault trace
+//     and metrics dump, sequentially and across concurrent runs (the
+//     latter doubles as the -race check that runs share no state).
+
+const (
+	invRate    = 8e6 // tuples/minute, unsaturated (splitter p=3 SP ≈ 32.4e6)
+	invHorizon = 15 * time.Minute
+)
+
+var invSeeds = []int64{1, 2, 3}
+
+func invTargets(t *testing.T) (*topology.Topology, *topology.PackingPlan) {
+	t.Helper()
+	topo, err := heron.WordCountTopology(8, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pack, err := topology.RoundRobinPack(topo, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo, pack
+}
+
+func newInvSim(t *testing.T) *heron.Simulation {
+	t.Helper()
+	s, err := heron.NewWordCount(heron.WordCountOptions{
+		SplitterP:     3,
+		CounterP:      3,
+		RatePerMinute: invRate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// assertConservation checks the three tuple-conservation laws at the
+// simulation's current tick.
+func assertConservation(t *testing.T, s *heron.Simulation, ctx string) {
+	t.Helper()
+	closeTo := func(a, b float64) bool {
+		return math.Abs(a-b) <= 1e-6*math.Max(math.Max(math.Abs(a), math.Abs(b)), 1)
+	}
+	var emitted, boltInput float64
+	for _, tot := range s.Totals() {
+		emitted += tot.Emitted
+		if tot.ID.Component == "spout" {
+			if !closeTo(tot.Source, tot.Executed+tot.Backlog) {
+				t.Errorf("%s: %s: Source %.8g != Executed %.8g + Backlog %.8g",
+					ctx, tot.ID, tot.Source, tot.Executed, tot.Backlog)
+			}
+		} else {
+			boltInput += tot.Arrived + tot.RouteDropped + tot.InFlight
+			if !closeTo(tot.Arrived, tot.Executed+tot.QueueDropped+tot.Queue) {
+				t.Errorf("%s: %s: Arrived %.8g != Executed %.8g + QueueDropped %.8g + Queue %.8g",
+					ctx, tot.ID, tot.Arrived, tot.Executed, tot.QueueDropped, tot.Queue)
+			}
+		}
+	}
+	if !closeTo(emitted, boltInput) {
+		t.Errorf("%s: wiring: Σ Emitted %.8g != Σ bolt input %.8g", ctx, emitted, boltInput)
+	}
+}
+
+// runPlan executes the full horizon under the plan with conservation
+// checkpoints every 3 simulated minutes, and returns the simulation.
+func runPlan(t *testing.T, plan *Plan, ctx string) *heron.Simulation {
+	t.Helper()
+	topo, pack := invTargets(t)
+	inj, err := NewInjector(plan, topo, pack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newInvSim(t)
+	s.WithFaultInjector(inj)
+	for el := time.Duration(0); el < invHorizon; el += 3 * time.Minute {
+		if err := s.Run(3 * time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		assertConservation(t, s, fmt.Sprintf("%s t=%s", ctx, el+3*time.Minute))
+	}
+	return s
+}
+
+// bpPerMinute returns the topology backpressure series, one value per
+// simulated minute.
+func bpPerMinute(t *testing.T, s *heron.Simulation) []float64 {
+	t.Helper()
+	series, err := s.DB().Downsample(heron.MetricBackpressureMs,
+		tsdb.Labels{"component": heron.TopologyComponent},
+		s.Start(), s.Start().Add(invHorizon), time.Minute, tsdb.AggSum, tsdb.AggSum)
+	if err != nil {
+		t.Fatalf("backpressure downsample: %v", err)
+	}
+	out := make([]float64, 0, len(series.Points))
+	for _, p := range series.Points {
+		out = append(out, p.V)
+	}
+	return out
+}
+
+// assertBimodalOutsideFaults checks invariant 2: minutes that do not
+// intersect any padded fault interval must sit in the low (≤1 000 ms)
+// or high (≥50 000 ms) mode. Fault minutes themselves are exempt —
+// partial degradation legitimately produces mid-band duty cycles while
+// hysteresis oscillates — as is a short drain margin after each fault.
+func assertBimodalOutsideFaults(t *testing.T, s *heron.Simulation, plan *Plan, ctx string) {
+	t.Helper()
+	type span struct{ from, to time.Duration }
+	var padded []span
+	for _, f := range plan.SimFaults() {
+		padded = append(padded, span{time.Duration(f.At) - time.Minute, f.End() + 2*time.Minute})
+	}
+	for i, bp := range bpPerMinute(t, s) {
+		m0 := time.Duration(i) * time.Minute
+		excluded := false
+		for _, sp := range padded {
+			if m0 < sp.to && sp.from < m0+time.Minute {
+				excluded = true
+				break
+			}
+		}
+		if excluded {
+			continue
+		}
+		if bp > 1000 && bp < 50_000 {
+			t.Errorf("%s: minute %d: backpressure %.0f ms is mid-band outside fault windows", ctx, i, bp)
+		}
+	}
+}
+
+// sinkRate averages the counter's executed tuples per minute over
+// minutes [from, to).
+func sinkRate(t *testing.T, s *heron.Simulation, from, to int) float64 {
+	t.Helper()
+	series, err := s.DB().Downsample(heron.MetricExecuteCount,
+		tsdb.Labels{"component": "counter"},
+		s.Start().Add(time.Duration(from)*time.Minute), s.Start().Add(time.Duration(to)*time.Minute),
+		time.Minute, tsdb.AggSum, tsdb.AggSum)
+	if err != nil {
+		t.Fatalf("sink downsample: %v", err)
+	}
+	var sum float64
+	for _, p := range series.Points {
+		sum += p.V
+	}
+	return sum / float64(len(series.Points))
+}
+
+// planFor builds the deterministic per-seed plan for one kind (nil
+// kind slice = the combined all-kinds plan).
+func planFor(t *testing.T, seed int64, kinds []FaultKind) *Plan {
+	t.Helper()
+	topo, pack := invTargets(t)
+	n := 2
+	if len(kinds) != 1 {
+		n = 4
+	}
+	plan, err := GeneratePlan(seed, topo, pack, GenOptions{Horizon: invHorizon, Faults: n, Kinds: kinds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func TestInvariantsUnderEveryFaultKind(t *testing.T) {
+	variants := map[string][]FaultKind{
+		"crash":     {FaultCrash},
+		"slow":      {FaultSlow},
+		"stall":     {FaultStall},
+		"partition": {FaultPartition},
+		"combined":  nil, // all sim kinds
+	}
+	for name, kinds := range variants {
+		kinds := kinds
+		t.Run(name, func(t *testing.T) {
+			for _, seed := range invSeeds {
+				ctx := fmt.Sprintf("%s/seed=%d", name, seed)
+				plan := planFor(t, seed, kinds)
+				s := runPlan(t, plan, ctx)
+
+				// Invariant 2: bimodality outside padded fault windows.
+				assertBimodalOutsideFaults(t, s, plan, ctx)
+
+				// Invariant 3: recovery. Generated faults end by 2/3 of
+				// the horizon (10m); the last 3 minutes are long past any
+				// drain, so the faulted run's sink throughput must match
+				// a fault-free twin within 2%.
+				twin := newInvSim(t)
+				if err := twin.Run(invHorizon); err != nil {
+					t.Fatal(err)
+				}
+				lastM := int(invHorizon / time.Minute)
+				got := sinkRate(t, s, lastM-3, lastM)
+				want := sinkRate(t, twin, lastM-3, lastM)
+				if math.Abs(got-want)/want > 0.02 {
+					t.Errorf("%s: post-fault sink %.5g vs fault-free %.5g (> 2%% apart): no recovery", ctx, got, want)
+				}
+			}
+		})
+	}
+}
+
+// faultRun is one full deterministic run's observable output: the
+// injector's fault trace and the metric database's snapshot.
+type faultRun struct {
+	trace string
+	dump  []byte
+}
+
+func oneFaultRun(t *testing.T, seed int64) faultRun {
+	t.Helper()
+	topo, pack := invTargets(t)
+	plan := planFor(t, seed, nil)
+	inj, err := NewInjector(plan, topo, pack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newInvSim(t)
+	s.WithFaultInjector(inj)
+	if err := s.Run(invHorizon); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.DB().WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return faultRun{trace: inj.Trace(), dump: buf.Bytes()}
+}
+
+func TestDeterminismSameSeedByteIdentical(t *testing.T) {
+	for _, seed := range invSeeds {
+		base := oneFaultRun(t, seed)
+		if base.trace == "" {
+			t.Fatalf("seed %d: empty fault trace for a 4-fault plan", seed)
+		}
+		again := oneFaultRun(t, seed)
+		if again.trace != base.trace {
+			t.Errorf("seed %d: sequential rerun produced a different fault trace", seed)
+		}
+		if !bytes.Equal(again.dump, base.dump) {
+			t.Errorf("seed %d: sequential rerun produced a different metrics dump", seed)
+		}
+	}
+	// Different seeds must actually differ — otherwise the determinism
+	// assertions above are vacuous.
+	if a, b := oneFaultRun(t, invSeeds[0]), oneFaultRun(t, invSeeds[1]); a.trace == b.trace {
+		t.Error("seeds 1 and 2 produced identical fault traces")
+	}
+}
+
+func TestDeterminismUnderConcurrency(t *testing.T) {
+	// N concurrent simulations of the same seed: byte-identical outputs,
+	// and — under `go test -race` — proof that injectors and simulations
+	// share no mutable state.
+	const workers = 4
+	base := oneFaultRun(t, invSeeds[0])
+	runs := make([]faultRun, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			runs[i] = oneFaultRun(t, invSeeds[0])
+		}(i)
+	}
+	wg.Wait()
+	for i, r := range runs {
+		if r.trace != base.trace {
+			t.Errorf("worker %d: divergent fault trace", i)
+		}
+		if !bytes.Equal(r.dump, base.dump) {
+			t.Errorf("worker %d: divergent metrics dump", i)
+		}
+	}
+}

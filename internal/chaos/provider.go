@@ -1,0 +1,177 @@
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"caladrius/internal/metrics"
+	"caladrius/internal/tsdb"
+)
+
+// ProviderOptions configures NewFaultyProvider.
+type ProviderOptions struct {
+	// Origin maps the plan's relative fault times onto the wall clock
+	// (normally the simulation's Start). Required.
+	Origin time.Time
+	// Now supplies the current time for outage/latency gating. Default
+	// time.Now.
+	Now func() time.Time
+	// Sleep implements latency spikes. Default time.Sleep; tests
+	// substitute a recorder.
+	Sleep func(time.Duration)
+}
+
+// FaultyProvider decorates a metrics.Provider with the plan's
+// provider-side faults:
+//
+//   - metrics-outage: every call made while the fault is active fails
+//     with metrics.ErrUnavailable;
+//   - metrics-latency: every call made while the fault is active is
+//     delayed by the fault's Latency;
+//   - metrics-gap: points whose timestamps fall inside the fault
+//     interval are removed from every result, permanently — the range
+//     behaves as if the backend lost it.
+//
+// Simulator-side faults in the plan are ignored here (see
+// NewInjector).
+type FaultyProvider struct {
+	inner  metrics.Provider
+	faults []Fault
+	origin time.Time
+	now    func() time.Time
+	sleep  func(time.Duration)
+}
+
+// NewFaultyProvider wraps inner with the plan's metrics faults.
+func NewFaultyProvider(inner metrics.Provider, plan *Plan, opts ProviderOptions) (*FaultyProvider, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("chaos: nil inner provider")
+	}
+	if plan == nil {
+		return nil, fmt.Errorf("chaos: nil plan")
+	}
+	if opts.Origin.IsZero() {
+		return nil, fmt.Errorf("chaos: ProviderOptions.Origin is required")
+	}
+	p := &FaultyProvider{
+		inner:  inner,
+		faults: plan.MetricsFaults(),
+		origin: opts.Origin,
+		now:    opts.Now,
+		sleep:  opts.Sleep,
+	}
+	if p.now == nil {
+		p.now = time.Now
+	}
+	if p.sleep == nil {
+		p.sleep = time.Sleep
+	}
+	return p, nil
+}
+
+// gate applies call-time faults (latency first, then outage, so a
+// spike before the outage window still delays).
+func (p *FaultyProvider) gate() error {
+	t := p.now().Sub(p.origin)
+	for _, f := range p.faults {
+		if f.Kind == FaultMetricsLatency && f.ActiveAt(t) {
+			p.sleep(time.Duration(f.Latency))
+		}
+	}
+	for _, f := range p.faults {
+		if f.Kind == FaultMetricsOutage && f.ActiveAt(t) {
+			return fmt.Errorf("%w: injected outage %s–%s", metrics.ErrUnavailable,
+				time.Duration(f.At), f.End())
+		}
+	}
+	return nil
+}
+
+// inGap reports whether the timestamp falls inside a metrics-gap
+// fault.
+func (p *FaultyProvider) inGap(ts time.Time) bool {
+	t := ts.Sub(p.origin)
+	for _, f := range p.faults {
+		if f.Kind == FaultMetricsGap && f.ActiveAt(t) {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *FaultyProvider) filterWindows(ws []Window, err error) ([]Window, error) {
+	if err != nil {
+		return nil, err
+	}
+	out := ws[:0]
+	for _, w := range ws {
+		if !p.inGap(w.T) {
+			out = append(out, w)
+		}
+	}
+	if len(out) == 0 && len(ws) > 0 {
+		return nil, fmt.Errorf("%w: every window fell in an injected metrics gap", metrics.ErrNoData)
+	}
+	return out, nil
+}
+
+func (p *FaultyProvider) filterPoints(pts []tsdb.Point, err error) ([]tsdb.Point, error) {
+	if err != nil {
+		return nil, err
+	}
+	out := pts[:0]
+	for _, pt := range pts {
+		if !p.inGap(pt.T) {
+			out = append(out, pt)
+		}
+	}
+	if len(out) == 0 && len(pts) > 0 {
+		return nil, fmt.Errorf("%w: every point fell in an injected metrics gap", metrics.ErrNoData)
+	}
+	return out, nil
+}
+
+// Window aliases metrics.Window for the filter helpers.
+type Window = metrics.Window
+
+// ComponentWindows implements metrics.Provider.
+func (p *FaultyProvider) ComponentWindows(topology, component string, start, end time.Time) ([]metrics.Window, error) {
+	if err := p.gate(); err != nil {
+		return nil, err
+	}
+	return p.filterWindows(p.inner.ComponentWindows(topology, component, start, end))
+}
+
+// InstanceWindows implements metrics.Provider.
+func (p *FaultyProvider) InstanceWindows(topology, component string, index int, start, end time.Time) ([]metrics.Window, error) {
+	if err := p.gate(); err != nil {
+		return nil, err
+	}
+	return p.filterWindows(p.inner.InstanceWindows(topology, component, index, start, end))
+}
+
+// SourceRate implements metrics.Provider.
+func (p *FaultyProvider) SourceRate(topology string, spouts []string, start, end time.Time) ([]tsdb.Point, error) {
+	if err := p.gate(); err != nil {
+		return nil, err
+	}
+	return p.filterPoints(p.inner.SourceRate(topology, spouts, start, end))
+}
+
+// TopologyBackpressureMs implements metrics.Provider.
+func (p *FaultyProvider) TopologyBackpressureMs(topology string, start, end time.Time) ([]tsdb.Point, error) {
+	if err := p.gate(); err != nil {
+		return nil, err
+	}
+	return p.filterPoints(p.inner.TopologyBackpressureMs(topology, start, end))
+}
+
+// StreamEmitTotals implements metrics.Provider. Totals cannot be
+// gap-filtered (they are already aggregated); only call-time faults
+// apply.
+func (p *FaultyProvider) StreamEmitTotals(topology, component string, start, end time.Time) (map[string]float64, error) {
+	if err := p.gate(); err != nil {
+		return nil, err
+	}
+	return p.inner.StreamEmitTotals(topology, component, start, end)
+}

@@ -1,0 +1,171 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"caladrius/internal/metrics"
+	"caladrius/internal/tsdb"
+)
+
+// stubProvider returns fixed windows/points stamped at its origin plus
+// 0,1,2,… minutes.
+type stubProvider struct {
+	origin time.Time
+	n      int
+}
+
+func (s *stubProvider) wins() []metrics.Window {
+	out := make([]metrics.Window, s.n)
+	for i := range out {
+		out[i] = metrics.Window{T: s.origin.Add(time.Duration(i) * time.Minute), Execute: float64(i + 1)}
+	}
+	return out
+}
+
+func (s *stubProvider) pts() []tsdb.Point {
+	out := make([]tsdb.Point, s.n)
+	for i := range out {
+		out[i] = tsdb.Point{T: s.origin.Add(time.Duration(i) * time.Minute), V: float64(i + 1)}
+	}
+	return out
+}
+
+func (s *stubProvider) ComponentWindows(_, _ string, _, _ time.Time) ([]metrics.Window, error) {
+	return s.wins(), nil
+}
+func (s *stubProvider) InstanceWindows(_, _ string, _ int, _, _ time.Time) ([]metrics.Window, error) {
+	return s.wins(), nil
+}
+func (s *stubProvider) SourceRate(_ string, _ []string, _, _ time.Time) ([]tsdb.Point, error) {
+	return s.pts(), nil
+}
+func (s *stubProvider) TopologyBackpressureMs(_ string, _, _ time.Time) ([]tsdb.Point, error) {
+	return s.pts(), nil
+}
+func (s *stubProvider) StreamEmitTotals(_, _ string, _, _ time.Time) (map[string]float64, error) {
+	return map[string]float64{"default->counter": 42}, nil
+}
+
+func TestFaultyProviderOutage(t *testing.T) {
+	origin := time.Date(2026, 1, 5, 0, 0, 0, 0, time.UTC)
+	plan := &Plan{Faults: []Fault{{Kind: FaultMetricsOutage, At: Duration(time.Minute), Duration: Duration(time.Minute)}}}
+	now := origin
+	fp, err := NewFaultyProvider(&stubProvider{origin: origin, n: 5}, plan, ProviderOptions{
+		Origin: origin,
+		Now:    func() time.Time { return now },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before the outage: calls pass through.
+	if ws, err := fp.ComponentWindows("t", "c", origin, origin.Add(time.Hour)); err != nil || len(ws) != 5 {
+		t.Fatalf("pre-outage: %d windows, err %v", len(ws), err)
+	}
+	// During: every method fails with ErrUnavailable.
+	now = origin.Add(90 * time.Second)
+	if _, err := fp.ComponentWindows("t", "c", origin, origin.Add(time.Hour)); !errors.Is(err, metrics.ErrUnavailable) {
+		t.Errorf("ComponentWindows during outage: %v, want ErrUnavailable", err)
+	}
+	if _, err := fp.InstanceWindows("t", "c", 0, origin, origin.Add(time.Hour)); !errors.Is(err, metrics.ErrUnavailable) {
+		t.Errorf("InstanceWindows during outage: %v, want ErrUnavailable", err)
+	}
+	if _, err := fp.SourceRate("t", []string{"s"}, origin, origin.Add(time.Hour)); !errors.Is(err, metrics.ErrUnavailable) {
+		t.Errorf("SourceRate during outage: %v, want ErrUnavailable", err)
+	}
+	if _, err := fp.TopologyBackpressureMs("t", origin, origin.Add(time.Hour)); !errors.Is(err, metrics.ErrUnavailable) {
+		t.Errorf("TopologyBackpressureMs during outage: %v, want ErrUnavailable", err)
+	}
+	if _, err := fp.StreamEmitTotals("t", "c", origin, origin.Add(time.Hour)); !errors.Is(err, metrics.ErrUnavailable) {
+		t.Errorf("StreamEmitTotals during outage: %v, want ErrUnavailable", err)
+	}
+	// After: healthy again.
+	now = origin.Add(3 * time.Minute)
+	if _, err := fp.ComponentWindows("t", "c", origin, origin.Add(time.Hour)); err != nil {
+		t.Errorf("post-outage: %v", err)
+	}
+}
+
+func TestFaultyProviderGapFiltersPoints(t *testing.T) {
+	origin := time.Date(2026, 1, 5, 0, 0, 0, 0, time.UTC)
+	// Gap covers minutes [1, 3): points at 1 and 2 vanish, 0/3/4 stay.
+	plan := &Plan{Faults: []Fault{{Kind: FaultMetricsGap, At: Duration(time.Minute), Duration: Duration(2 * time.Minute)}}}
+	fp, err := NewFaultyProvider(&stubProvider{origin: origin, n: 5}, plan, ProviderOptions{Origin: origin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := fp.ComponentWindows("t", "c", origin, origin.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 3 {
+		t.Fatalf("got %d windows, want 3 (minutes 1 and 2 lost)", len(ws))
+	}
+	for _, w := range ws {
+		if off := w.T.Sub(origin); off >= time.Minute && off < 3*time.Minute {
+			t.Errorf("window at +%s survived the gap", off)
+		}
+	}
+	pts, err := fp.SourceRate("t", []string{"s"}, origin, origin.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Errorf("got %d points, want 3", len(pts))
+	}
+}
+
+func TestFaultyProviderGapSwallowingEverythingIsNoData(t *testing.T) {
+	origin := time.Date(2026, 1, 5, 0, 0, 0, 0, time.UTC)
+	plan := &Plan{Faults: []Fault{{Kind: FaultMetricsGap, At: 0, Duration: Duration(time.Hour)}}}
+	fp, err := NewFaultyProvider(&stubProvider{origin: origin, n: 5}, plan, ProviderOptions{Origin: origin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fp.ComponentWindows("t", "c", origin, origin.Add(time.Hour)); !errors.Is(err, metrics.ErrNoData) {
+		t.Errorf("all-gap fetch: %v, want ErrNoData", err)
+	}
+}
+
+func TestFaultyProviderLatency(t *testing.T) {
+	origin := time.Date(2026, 1, 5, 0, 0, 0, 0, time.UTC)
+	plan := &Plan{Faults: []Fault{{
+		Kind: FaultMetricsLatency, At: 0, Duration: Duration(time.Minute), Latency: Duration(25 * time.Millisecond),
+	}}}
+	var slept []time.Duration
+	now := origin
+	fp, err := NewFaultyProvider(&stubProvider{origin: origin, n: 2}, plan, ProviderOptions{
+		Origin: origin,
+		Now:    func() time.Time { return now },
+		Sleep:  func(d time.Duration) { slept = append(slept, d) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fp.ComponentWindows("t", "c", origin, origin.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if len(slept) != 1 || slept[0] != 25*time.Millisecond {
+		t.Errorf("slept %v, want one 25ms delay", slept)
+	}
+	now = origin.Add(2 * time.Minute)
+	if _, err := fp.ComponentWindows("t", "c", origin, origin.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if len(slept) != 1 {
+		t.Errorf("latency applied outside its window: %v", slept)
+	}
+}
+
+func TestNewFaultyProviderValidation(t *testing.T) {
+	if _, err := NewFaultyProvider(nil, &Plan{}, ProviderOptions{Origin: time.Now()}); err == nil {
+		t.Error("nil inner accepted")
+	}
+	if _, err := NewFaultyProvider(&stubProvider{}, nil, ProviderOptions{Origin: time.Now()}); err == nil {
+		t.Error("nil plan accepted")
+	}
+	if _, err := NewFaultyProvider(&stubProvider{}, &Plan{}, ProviderOptions{}); err == nil {
+		t.Error("zero origin accepted")
+	}
+}

@@ -18,6 +18,10 @@
 //	calibration:
 //	  warmup_windows: 4
 //	  lookback_minutes: 120
+//	fetch:
+//	  retries: 2
+//	  backoff_ms: 50
+//	  timeout_seconds: 10
 package config
 
 import (
@@ -51,6 +55,14 @@ type Config struct {
 	CalibrationWarmup int
 	// CalibrationLookback is how much metric history calibration uses.
 	CalibrationLookback time.Duration
+	// FetchRetries is how many times a failed metrics fetch is retried
+	// (transient failures only; 0 disables retrying).
+	FetchRetries int
+	// FetchBackoff is the delay before the first retry; it doubles on
+	// each subsequent one.
+	FetchBackoff time.Duration
+	// FetchTimeout bounds each individual fetch attempt (0 = no bound).
+	FetchTimeout time.Duration
 }
 
 // Default returns the configuration used when no file is given.
@@ -62,6 +74,9 @@ func Default() Config {
 		TrafficModels:       []ModelRef{{Name: "prophet"}, {Name: "summary"}},
 		CalibrationWarmup:   4,
 		CalibrationLookback: 2 * time.Hour,
+		FetchRetries:        2,
+		FetchBackoff:        50 * time.Millisecond,
+		FetchTimeout:        10 * time.Second,
 	}
 }
 
@@ -137,6 +152,26 @@ func Parse(src string) (Config, error) {
 		}
 	}
 
+	if f, ok, err := section(doc, "fetch"); err != nil {
+		return Config{}, err
+	} else if ok {
+		if v, ok, err := floatKey(f, "retries"); err != nil {
+			return Config{}, err
+		} else if ok {
+			cfg.FetchRetries = int(v)
+		}
+		if v, ok, err := floatKey(f, "backoff_ms"); err != nil {
+			return Config{}, err
+		} else if ok {
+			cfg.FetchBackoff = time.Duration(v * float64(time.Millisecond))
+		}
+		if v, ok, err := floatKey(f, "timeout_seconds"); err != nil {
+			return Config{}, err
+		} else if ok {
+			cfg.FetchTimeout = time.Duration(v * float64(time.Second))
+		}
+	}
+
 	if c, ok, err := section(doc, "calibration"); err != nil {
 		return Config{}, err
 	} else if ok {
@@ -174,6 +209,15 @@ func (c Config) Validate() error {
 	}
 	if c.CalibrationLookback <= 0 {
 		return fmt.Errorf("config: non-positive calibration lookback %s", c.CalibrationLookback)
+	}
+	if c.FetchRetries < 0 {
+		return fmt.Errorf("config: negative fetch retries %d", c.FetchRetries)
+	}
+	if c.FetchBackoff < 0 {
+		return fmt.Errorf("config: negative fetch backoff %s", c.FetchBackoff)
+	}
+	if c.FetchTimeout < 0 {
+		return fmt.Errorf("config: negative fetch timeout %s", c.FetchTimeout)
 	}
 	return nil
 }

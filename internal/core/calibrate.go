@@ -1,8 +1,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"caladrius/internal/linalg"
@@ -37,6 +39,15 @@ type CalibrationOptions struct {
 	// Stages, when set, is notified of each calibration stage so the
 	// caller can time them (tracing, metrics).
 	Stages StageTimer
+	// MinWindows is the fewest post-warmup windows every component
+	// must contribute before a calibration counts as well-observed.
+	// When a metrics gap leaves fewer, CalibrateTopologyFromProviderReport
+	// widens the observe window backwards (doubling the lookback, up
+	// to MaxWidenFactor) and flags the result degraded. Default 3.
+	MinWindows int
+	// MaxWidenFactor caps the widened lookback at this multiple of the
+	// original observe span. Default 4.
+	MaxWidenFactor int
 }
 
 // startStage begins a named stage, tolerating a nil timer.
@@ -53,6 +64,12 @@ func (o CalibrationOptions) withDefaults() CalibrationOptions {
 	}
 	if o.Window == 0 {
 		o.Window = time.Minute
+	}
+	if o.MinWindows == 0 {
+		o.MinWindows = 3
+	}
+	if o.MaxWidenFactor < 1 {
+		o.MaxWidenFactor = 4
 	}
 	return o
 }
@@ -222,18 +239,89 @@ func CalibrateFromProvider(p metrics.Provider, topologyName, component string, p
 // upstream queues over the high watermark too, so an upstream
 // component's own backpressure metric is only trustworthy when its
 // descendants are quiet.
+//
+// Metric gaps are tolerated by widening: see
+// CalibrateTopologyFromProviderReport, of which this is the
+// report-discarding form.
 func CalibrateTopologyFromProvider(p metrics.Provider, topo *topology.Topology, start, end time.Time, opts CalibrationOptions) (map[string]*ComponentModel, error) {
+	models, _, err := CalibrateTopologyFromProviderReport(p, topo, start, end, opts)
+	return models, err
+}
+
+// CalibrationReport describes how much a calibration had to degrade to
+// produce a model. A degraded calibration is still usable — the audit
+// ledger carries the flag so its predictions can be discounted.
+type CalibrationReport struct {
+	// Degraded is true when the observe window had to be widened, or
+	// when components stayed below MinWindows even after widening.
+	Degraded bool
+	// Widened is how far the observe-window start was pulled back from
+	// the requested one (0 when the original window sufficed).
+	Widened time.Duration
+	// Sparse lists components still below MinWindows post-warmup
+	// windows after widening, sorted by component name.
+	Sparse []string
+}
+
+// CalibrateTopologyFromProviderReport is CalibrateTopologyFromProvider
+// plus gap tolerance: when any component contributes fewer than
+// MinWindows post-warmup windows over [start, end) — a metrics gap, a
+// short history — the observe window's start is pulled back (doubling
+// the lookback each attempt, capped at MaxWidenFactor times the
+// original span) until every component is well-observed or the cap is
+// hit. Any widening, or remaining sparseness, flags the calibration
+// degraded in the returned report.
+func CalibrateTopologyFromProviderReport(p metrics.Provider, topo *topology.Topology, start, end time.Time, opts CalibrationOptions) (map[string]*ComponentModel, CalibrationReport, error) {
+	o := opts.withDefaults()
+	span := end.Sub(start)
+	var rep CalibrationReport
+	cur := start
+	for {
+		models, sparse, err := calibrateTopologySpan(p, topo, cur, end, opts)
+		rep.Widened = start.Sub(cur)
+		rep.Degraded = rep.Widened > 0
+		if err == nil && len(sparse) == 0 {
+			return models, rep, nil
+		}
+		if err != nil && !errors.Is(err, ErrNotCalibrated) && !errors.Is(err, metrics.ErrNoData) {
+			// Not a data-scarcity problem (provider down, bad inputs):
+			// widening cannot help.
+			return nil, rep, err
+		}
+		next := end.Add(-2 * end.Sub(cur))
+		if span <= 0 || end.Sub(next) > time.Duration(o.MaxWidenFactor)*span {
+			// Widening cap reached: surface what we have, flagged.
+			if err != nil {
+				return nil, rep, err
+			}
+			rep.Degraded = true
+			rep.Sparse = sparse
+			return models, rep, nil
+		}
+		cur = next
+	}
+}
+
+// calibrateTopologySpan runs one calibration attempt over [start, end)
+// and reports which components stayed below MinWindows post-warmup
+// windows.
+func calibrateTopologySpan(p metrics.Provider, topo *topology.Topology, start, end time.Time, opts CalibrationOptions) (map[string]*ComponentModel, []string, error) {
 	o := opts.withDefaults()
 	endFetch := o.startStage("fetch-windows")
 	windows := map[string][]metrics.Window{}
+	var sparse []string
 	for _, c := range topo.Components() {
 		ws, err := p.ComponentWindows(topo.Name(), c.Name, start, end)
 		if err != nil {
 			endFetch()
-			return nil, fmt.Errorf("core: calibrate %q: %w", c.Name, err)
+			return nil, nil, fmt.Errorf("core: calibrate %q: %w", c.Name, err)
 		}
 		windows[c.Name] = ws
+		if len(ws)-o.Warmup < o.MinWindows {
+			sparse = append(sparse, c.Name)
+		}
 	}
+	sort.Strings(sparse)
 	endFetch()
 	// Per-window backpressure flags by component, keyed on window time.
 	bpAt := map[string]map[time.Time]bool{}
@@ -271,7 +359,7 @@ func CalibrateTopologyFromProvider(p metrics.Provider, topo *topology.Topology, 
 		m, err := calibrateMasked(c.Name, c.Parallelism, windows[c.Name], inst, opts, saturated)
 		if err != nil {
 			endStage()
-			return nil, err
+			return nil, nil, err
 		}
 		// Per-stream I/O coefficients (Eqs. 4–5): split the aggregate α
 		// in proportion to observed per-stream emit totals, when the
@@ -290,12 +378,12 @@ func CalibrateTopologyFromProvider(p metrics.Provider, topo *topology.Topology, 
 		}
 		if err := m.Validate(); err != nil {
 			endStage()
-			return nil, err
+			return nil, nil, err
 		}
 		models[c.Name] = m
 		endStage()
 	}
-	return models, nil
+	return models, sparse, nil
 }
 
 // MergeCalibrations combines models of the same component calibrated

@@ -38,6 +38,9 @@ type ModelRun struct {
 	Prediction TopologyPrediction
 	// Calibration is the model's shared calibration snapshot.
 	Calibration []ComponentCalibration
+	// Degraded is true when the model behind the run was calibrated in
+	// degraded mode (widened or sparse observe window).
+	Degraded bool
 }
 
 // RunRecorder receives completed model runs — the audit-ledger hook.
@@ -82,6 +85,7 @@ func (tm *TopologyModel) PredictRecorded(rec RunRecorder, parallelisms map[strin
 			SourceRate:  sourceRate,
 			Prediction:  pred,
 			Calibration: tm.CalibrationSnapshot(),
+			Degraded:    tm.Degraded,
 		})
 	}
 	return pred, err

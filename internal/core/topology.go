@@ -64,6 +64,11 @@ type TopologyModel struct {
 	// RiskMargin widens the high-risk band of Eq. 14: the risk is high
 	// when t₀ ≥ (1 − RiskMargin)·t′₀. Default 0.1.
 	RiskMargin float64
+	// Degraded marks a low-confidence model: its calibration needed a
+	// widened observe window or still ran on sparse windows (see
+	// CalibrateTopologyFromProviderReport). Every audited run carries
+	// the flag so degraded-era predictions can be discounted.
+	Degraded bool
 
 	// calSnap memoizes CalibrationSnapshot (see observe.go): the
 	// snapshot is immutable and shared by every audit record emitted

@@ -1,0 +1,227 @@
+package heron
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"caladrius/internal/topology"
+)
+
+// scriptInjector applies a fixed per-instance fault set during
+// [from, to) — the minimal FaultInjector for exercising the hook
+// without pulling in the chaos package (which would cycle imports).
+type scriptInjector struct {
+	from, to time.Duration
+	faults   map[topology.InstanceID]InstanceFault
+	dropped  map[topology.InstanceID]bool // DropQueue consumed
+}
+
+func (si *scriptInjector) BeginTick(elapsed time.Duration) bool {
+	return elapsed >= si.from && elapsed < si.to
+}
+
+func (si *scriptInjector) InstanceFault(id topology.InstanceID) InstanceFault {
+	f := si.faults[id]
+	if f.DropQueue {
+		if si.dropped[id] {
+			f.DropQueue = false
+		} else {
+			if si.dropped == nil {
+				si.dropped = map[topology.InstanceID]bool{}
+			}
+			si.dropped[id] = true
+		}
+	}
+	return f
+}
+
+// checkConservation asserts the three conservation laws documented on
+// InstanceTotals, at whatever tick the simulation currently sits on.
+func checkConservation(t *testing.T, s *Simulation) {
+	t.Helper()
+	closeTo := func(a, b float64) bool {
+		d := math.Abs(a - b)
+		scale := math.Max(math.Abs(a), math.Abs(b))
+		return d <= 1e-6*math.Max(scale, 1)
+	}
+	var emitted, boltInput float64
+	for _, tot := range s.Totals() {
+		emitted += tot.Emitted
+		if tot.Source > 0 || tot.Backlog > 0 { // spout
+			if !closeTo(tot.Source, tot.Executed+tot.Backlog) {
+				t.Errorf("%s: Source %.6g != Executed %.6g + Backlog %.6g",
+					tot.ID, tot.Source, tot.Executed, tot.Backlog)
+			}
+		} else { // bolt
+			boltInput += tot.Arrived + tot.RouteDropped + tot.InFlight
+			if !closeTo(tot.Arrived, tot.Executed+tot.QueueDropped+tot.Queue) {
+				t.Errorf("%s: Arrived %.6g != Executed %.6g + QueueDropped %.6g + Queue %.6g",
+					tot.ID, tot.Arrived, tot.Executed, tot.QueueDropped, tot.Queue)
+			}
+		}
+	}
+	if !closeTo(emitted, boltInput) {
+		t.Errorf("wiring: Σ Emitted %.6g != Σ bolt (Arrived+RouteDropped+InFlight) %.6g",
+			emitted, boltInput)
+	}
+}
+
+func TestTotalsConservationNoFaults(t *testing.T) {
+	s, err := NewWordCount(WordCountOptions{RatePerMinute: 8e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Check off a window boundary (live accumulators) and on one.
+	if err := s.Run(4*minute + 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	checkConservation(t, s)
+	if err := s.Run(90 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	checkConservation(t, s)
+}
+
+func TestFaultDownSpoutStopsPulling(t *testing.T) {
+	s, err := NewWordCount(WordCountOptions{RatePerMinute: 8e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := map[topology.InstanceID]InstanceFault{}
+	for i := 0; i < 8; i++ {
+		faults[topology.InstanceID{Component: "spout", Index: i}] = InstanceFault{Down: true}
+	}
+	s.WithFaultInjector(&scriptInjector{from: 2 * minute, to: 3 * minute, faults: faults})
+	if err := s.Run(6 * minute); err != nil {
+		t.Fatal(err)
+	}
+	// During the fault minute the spouts pull nothing.
+	pulled := perMinuteRate(t, s, MetricExecuteCount, "spout", 2, 3)
+	if pulled != 0 {
+		t.Errorf("spout executed %.0f/min while down, want 0", pulled)
+	}
+	// The external source keeps producing — nothing is lost.
+	offered := perMinuteRate(t, s, MetricSourceCount, "spout", 2, 3)
+	if math.Abs(offered-8e6)/8e6 > 0.01 {
+		t.Errorf("offered %.4g during fault, want ≈8e6", offered)
+	}
+	checkConservation(t, s)
+}
+
+func TestFaultDropQueueCountsFailedAndRestart(t *testing.T) {
+	// Saturate the splitter so its queue holds tuples, then drop it.
+	s, err := NewWordCount(WordCountOptions{RatePerMinute: 15e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := topology.InstanceID{Component: "splitter", Index: 0}
+	s.WithFaultInjector(&scriptInjector{
+		from:   3 * minute,
+		to:     3*minute + 10*time.Second,
+		faults: map[topology.InstanceID]InstanceFault{id: {Down: true, DropQueue: true}},
+	})
+	if err := s.Run(5 * minute); err != nil {
+		t.Fatal(err)
+	}
+	var tot InstanceTotals
+	for _, x := range s.Totals() {
+		if x.ID == id {
+			tot = x
+		}
+	}
+	if tot.QueueDropped <= 0 {
+		t.Fatalf("QueueDropped = %g, want > 0 (queue was saturated)", tot.QueueDropped)
+	}
+	if tot.Restarts < 1 {
+		t.Errorf("Restarts = %g, want ≥ 1", tot.Restarts)
+	}
+	if tot.Failed < tot.QueueDropped {
+		t.Errorf("Failed %g < QueueDropped %g; drops must count as failures", tot.Failed, tot.QueueDropped)
+	}
+	checkConservation(t, s)
+}
+
+func TestFaultUnreachableCountsRouteDropped(t *testing.T) {
+	s, err := NewWordCount(WordCountOptions{RatePerMinute: 8e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := map[topology.InstanceID]InstanceFault{}
+	for i := 0; i < 3; i++ {
+		faults[topology.InstanceID{Component: "counter", Index: i}] = InstanceFault{Unreachable: true}
+	}
+	s.WithFaultInjector(&scriptInjector{from: 2 * minute, to: 3 * minute, faults: faults})
+	if err := s.Run(5 * minute); err != nil {
+		t.Fatal(err)
+	}
+	var routeDropped float64
+	for _, tot := range s.Totals() {
+		if tot.ID.Component == "counter" {
+			routeDropped += tot.RouteDropped
+		}
+	}
+	// One minute of splitter output at 8e6/min input x alpha.
+	want := 8e6 * SplitterAlpha
+	if math.Abs(routeDropped-want)/want > 0.05 {
+		t.Errorf("RouteDropped = %.4g, want ≈%.4g (one minute of splitter output)", routeDropped, want)
+	}
+	checkConservation(t, s)
+}
+
+func TestFaultSlowScalesAndRestoresCapacity(t *testing.T) {
+	s, err := NewWordCount(WordCountOptions{RatePerMinute: 8e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := topology.InstanceID{Component: "splitter", Index: 0}
+	s.WithFaultInjector(&scriptInjector{
+		from:   2 * minute,
+		to:     4 * minute,
+		faults: map[topology.InstanceID]InstanceFault{id: {SlowFactor: 0.2}},
+	})
+	if err := s.Run(13 * minute); err != nil {
+		t.Fatal(err)
+	}
+	// During the fault the single splitter caps at 0.2 x 180k/s.
+	during := perMinuteRate(t, s, MetricExecuteCount, "splitter", 2, 4)
+	cap := SplitterServiceRate * 0.2 * 60
+	if math.Abs(during-cap)/cap > 0.05 {
+		t.Errorf("faulted splitter executed %.4g/min, want ≈%.4g", during, cap)
+	}
+	// Late windows: capacity restored and the backlog the fault built
+	// (≈11.7M tuples, drained at ≈2.8M/min of spare capacity, so clear
+	// by ≈t=8.2m) is gone — throughput returns to the offered rate.
+	after := perMinuteRate(t, s, MetricExecuteCount, "splitter", 10, 13)
+	if math.Abs(after-8e6)/8e6 > 0.02 {
+		t.Errorf("recovered splitter executed %.4g/min, want ≈8e6", after)
+	}
+	checkConservation(t, s)
+}
+
+// TestInjectorQuietMatchesNoInjector pins the hook's zero-effect
+// guarantee: an attached injector whose schedule never fires leaves the
+// run byte-identical to a run without one.
+func TestInjectorQuietMatchesNoInjector(t *testing.T) {
+	run := func(attach bool) *bytes.Buffer {
+		s, err := NewWordCount(WordCountOptions{RatePerMinute: 12e6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if attach {
+			s.WithFaultInjector(&scriptInjector{}) // from == to: never active
+		}
+		if err := s.Run(5 * minute); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := s.DB().WriteSnapshot(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return &buf
+	}
+	if !bytes.Equal(run(false).Bytes(), run(true).Bytes()) {
+		t.Error("quiet injector changed the metrics dump; the hook must be a no-op when idle")
+	}
+}

@@ -117,6 +117,10 @@ type Config struct {
 	// transitions, and tuples processed/dropped. Nil disables event
 	// telemetry entirely (no per-tick clock reads).
 	Metrics *telemetry.Registry
+	// Injector, when set, applies scheduled faults to the simulation
+	// (see FaultInjector in faults.go). It can also be attached after
+	// construction with WithFaultInjector.
+	Injector FaultInjector
 }
 
 // simEvents bundles the simulator's telemetry instruments, labelled by
@@ -181,6 +185,12 @@ type instanceState struct {
 	profile   ComponentProfile
 	isSpout   bool
 	slow      float64 // service-rate multiplier
+	// baseSlow preserves the noise-adjusted multiplier so slow faults
+	// can scale slow and revert it exactly; fUnreach marks the instance
+	// partitioned (arrivals addressed to it are lost in flight). Both
+	// are only ever set by applyFaults (see faults.go).
+	baseSlow float64
+	fUnreach bool
 
 	// Hoisted spout lookups: the component's offered-rate schedule and
 	// instance count, resolved once at New instead of two map lookups
@@ -209,8 +219,26 @@ type instanceState struct {
 	wCPUSecs  float64
 	wLatMs    float64 // sum over ticks of per-tick queue latency (ms)
 	wLatTicks float64
+	// wQueueDropped / wRouteDropped split the window's failed tuples by
+	// cause for the conservation totals: queue losses (OOM restarts and
+	// injected crashes) versus arrivals discarded by a partition fault.
+	// Both are also counted into wFailed.
+	wQueueDropped float64
+	wRouteDropped float64
+
+	// cum holds the totals of every closed window; Totals() adds the
+	// live window accumulators on top, so cumulative counts are exact
+	// at any tick without touching the per-tick hot path (the adds
+	// happen once per flushWindow).
+	cum cumTotals
 
 	routes []route
+}
+
+// cumTotals accumulates flushed window counters for Totals().
+type cumTotals struct {
+	source, arrived, executed, emitted, failed float64
+	queueDropped, routeDropped, restarts, bpMs float64
 }
 
 // Simulation is a runnable instance of the simulator. Create with New;
@@ -226,6 +254,9 @@ type Simulation struct {
 	wTopoBpMs float64
 	noise     *rand.Rand // nil when ServiceNoiseStd == 0
 	events    *simEvents // nil when Config.Metrics is nil
+
+	injector  FaultInjector // nil when no fault injection
+	faultTick bool          // a fault was active on the previous tick
 
 	topoBpSeries *tsdb.SeriesHandle
 	tickMs       float64 // float64(Tick.Milliseconds()), hoisted
@@ -303,7 +334,7 @@ func New(cfg Config) (*Simulation, error) {
 	if cfg.RestartDelay < 0 {
 		return nil, fmt.Errorf("heron: negative restart delay %s", cfg.RestartDelay)
 	}
-	s := &Simulation{cfg: cfg, db: cfg.DB, byComp: map[string][]*instanceState{}}
+	s := &Simulation{cfg: cfg, db: cfg.DB, byComp: map[string][]*instanceState{}, injector: cfg.Injector}
 	if cfg.Metrics != nil {
 		s.events = newSimEvents(cfg.Metrics, t.Name())
 	}
@@ -335,6 +366,7 @@ func New(cfg Config) (*Simulation, error) {
 			profile:   cfg.Profiles[id.Component].withDefaults(),
 			isSpout:   comp.Kind == topology.Spout,
 			slow:      slow,
+			baseSlow:  slow,
 			ramBytes:  float64(comp.Resources.RAMMB) * 1e6,
 		}
 		s.instances = append(s.instances, inst)
@@ -451,6 +483,10 @@ func (s *Simulation) step() {
 		}
 	}
 
+	if s.injector != nil {
+		tickDropped += s.applyFaults()
+	}
+
 	for _, inst := range s.instances {
 		var processed float64
 		capacity := inst.profile.ServiceRate * inst.slow * dtSec
@@ -468,7 +504,12 @@ func (s *Simulation) step() {
 			}
 			inst.wSource += offered
 			inst.backlog += offered
-			if !s.topoBP {
+			if inst.downTicks > 0 {
+				// Offline (crash or stall fault): the source keeps
+				// producing into the external backlog, but nothing is
+				// pulled.
+				inst.downTicks--
+			} else if !s.topoBP {
 				processed = inst.backlog
 				if processed > capacity {
 					processed = capacity
@@ -489,12 +530,21 @@ func (s *Simulation) step() {
 		} else {
 			arrived := inst.arrivedTick
 			inst.arrivedTick = 0
+			if inst.fUnreach {
+				// Partition fault: arrivals addressed to this instance
+				// are lost in flight.
+				inst.wRouteDropped += arrived
+				inst.wFailed += arrived
+				tickDropped += arrived
+				arrived = 0
+			}
 			inst.wArrived += arrived
 			inst.queueTuples += arrived
 			if inst.queueTuples*inst.profile.BytesPerTuple > inst.ramBytes {
 				// Out of memory: the instance restarts, losing its
 				// queued tuples and going offline for RestartDelay.
 				inst.wFailed += inst.queueTuples
+				inst.wQueueDropped += inst.queueTuples
 				tickDropped += inst.queueTuples
 				inst.queueTuples = 0
 				inst.wRestarts++
@@ -694,9 +744,20 @@ func (s *Simulation) flushWindow() {
 		}
 		sr.pending.Append(stamp, inst.queueTuples*inst.profile.BytesPerTuple)
 		sr.restarts.Append(stamp, inst.wRestarts)
+		c := &inst.cum
+		c.source += inst.wSource
+		c.arrived += inst.wArrived
+		c.executed += inst.wExecuted
+		c.emitted += inst.wEmitted
+		c.failed += inst.wFailed
+		c.queueDropped += inst.wQueueDropped
+		c.routeDropped += inst.wRouteDropped
+		c.restarts += inst.wRestarts
+		c.bpMs += inst.wBpMs
 		inst.wSource, inst.wArrived, inst.wExecuted, inst.wEmitted = 0, 0, 0, 0
 		inst.wFailed, inst.wBpMs, inst.wCPUSecs, inst.wRestarts = 0, 0, 0, 0
 		inst.wLatMs, inst.wLatTicks = 0, 0
+		inst.wQueueDropped, inst.wRouteDropped = 0, 0
 	}
 	s.topoBpSeries.Append(stamp, s.wTopoBpMs)
 	s.wTopoBpMs = 0

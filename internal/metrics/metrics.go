@@ -20,6 +20,13 @@ import (
 // ErrNoData mirrors tsdb.ErrNoData for callers of this package.
 var ErrNoData = tsdb.ErrNoData
 
+// ErrUnavailable reports that the metrics backend could not be reached
+// (outage, partition, timeout). Unlike ErrNoData — a definitive "the
+// range holds nothing" — an unavailable backend is transient: callers
+// should retry with backoff (see NewRetryingProvider) or surface
+// 503 + Retry-After rather than treating the data as absent.
+var ErrUnavailable = errors.New("metrics: provider unavailable")
+
 // Window is one metrics rollup interval of one entity (instance or
 // component). Rates are raw counts per window, not normalised.
 type Window struct {

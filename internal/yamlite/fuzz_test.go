@@ -1,0 +1,53 @@
+package yamlite
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary documents to the parser. Beyond "never
+// panic", it checks the marshal cycle: any value the parser accepts
+// must marshal to a document the parser accepts again, and that second
+// document must be a fixpoint (Marshal ∘ Parse is idempotent). Strict
+// value equality is deliberately not asserted — "2.0" reparses as the
+// int 2 — but the rendered form must stabilise after one cycle.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"key: value",
+		"a: 1\nb: 2.5\nc: true\nd: null\ne: 0x1F",
+		"model:\n  name: queueing\n  options:\n    window: 15m\n",
+		"stages:\n  - spout\n  - splitter\n  - counter\n",
+		"servers:\n  - host: a\n    port: 1\n  - host: b\n    port: 2\n",
+		"flow: [1, 2, {k: v}]\nempty: {}\n",
+		"# comment only\n---\nkey: 'single ''quoted'''\nother: \"dq \\\" esc\"\n",
+		"deep:\n  - \n    - 1\n    - 2\n",
+		"bad:\n\tindent: tab",
+		"dup: 1\ndup: 2",
+		"weird: [unclosed\n",
+		"n: NaN\ni: +Inf\nneg: -1e-9\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		v, err := Parse(src)
+		if err != nil {
+			if perr, ok := err.(*ParseError); ok && perr.Line <= 0 {
+				t.Errorf("ParseError with non-positive line %d: %v", perr.Line, err)
+			}
+			return // rejection is fine; panics and bad errors are not
+		}
+		once := Marshal(v)
+		v2, err := Parse(once)
+		if err != nil {
+			t.Fatalf("Marshal produced an unparseable document:\ninput %q\nvalue %#v\nmarshalled %q\nerr %v", src, v, once, err)
+		}
+		if twice := Marshal(v2); twice != once {
+			t.Errorf("marshal cycle not a fixpoint:\ninput %q\nfirst %q\nsecond %q", src, once, twice)
+		}
+		if strings.Contains(once, "\t") {
+			t.Errorf("Marshal emitted a tab, which the parser rejects: %q", once)
+		}
+	})
+}

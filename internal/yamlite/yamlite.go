@@ -117,6 +117,8 @@ func stripComment(s string) string {
 	inSingle, inDouble := false, false
 	for i := 0; i < len(s); i++ {
 		switch c := s[i]; {
+		case c == '\\' && inDouble:
+			i++ // skip the escaped character
 		case c == '\'' && !inDouble:
 			inSingle = !inSingle
 		case c == '"' && !inSingle:
@@ -279,6 +281,8 @@ func splitKeyValue(s string) (key, value string, ok bool) {
 	inSingle, inDouble := false, false
 	for i := 0; i < len(s); i++ {
 		switch c := s[i]; {
+		case c == '\\' && inDouble:
+			i++ // skip the escaped character
 		case c == '\'' && !inDouble:
 			inSingle = !inSingle
 		case c == '"' && !inSingle:
@@ -361,6 +365,8 @@ func splitFlow(s string, lineNum int) ([]string, error) {
 	start := 0
 	for i := 0; i < len(s); i++ {
 		switch c := s[i]; {
+		case c == '\\' && inDouble:
+			i++ // skip the escaped character
 		case c == '\'' && !inDouble:
 			inSingle = !inSingle
 		case c == '"' && !inSingle:
@@ -432,6 +438,11 @@ func unquote(s string) string {
 // text with deterministic (sorted) key order. It is used for config
 // dumps and golden tests.
 func Marshal(v any) string {
+	if v == nil {
+		// A nil root renders as the empty document: the parser has no
+		// root-scalar form, and Parse("") returns nil, closing the loop.
+		return ""
+	}
 	var b strings.Builder
 	marshalValue(&b, v, 0, false)
 	return b.String()
@@ -537,7 +548,7 @@ func quoteIfNeeded(s string) string {
 	if _, isStr := resolveScalar(s).(string); !isStr {
 		return strconv.Quote(s)
 	}
-	if strings.ContainsAny(s, ":#{}[]'\",\n") || s != strings.TrimSpace(s) || strings.HasPrefix(s, "- ") || s == "-" {
+	if strings.ContainsAny(s, ":#{}[]'\",\n\t") || s != strings.TrimSpace(s) || strings.HasPrefix(s, "- ") || s == "-" {
 		return strconv.Quote(s)
 	}
 	return s

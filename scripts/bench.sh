@@ -21,7 +21,7 @@ SEED_SWEEP_NS=247852953
 
 echo "== micro benchmarks (${MICRO_TIME}) =="
 MICRO=$(go test -run '^$' \
-    -bench 'BenchmarkSimulatorMinute$|BenchmarkTSDBAppend$|BenchmarkTSDBAppendHandle$' \
+    -bench 'BenchmarkSimulatorMinute$|BenchmarkSimulatorMinuteWithInjector$|BenchmarkTSDBAppend$|BenchmarkTSDBAppendHandle$' \
     -benchmem -benchtime "$MICRO_TIME" .)
 echo "$MICRO"
 
@@ -38,6 +38,9 @@ pick() {
 SIM_NS=$(pick "$MICRO" BenchmarkSimulatorMinute 3)
 SIM_B=$(pick "$MICRO" BenchmarkSimulatorMinute 5)
 SIM_ALLOCS=$(pick "$MICRO" BenchmarkSimulatorMinute 7)
+INJ_NS=$(pick "$MICRO" BenchmarkSimulatorMinuteWithInjector 3)
+INJ_B=$(pick "$MICRO" BenchmarkSimulatorMinuteWithInjector 5)
+INJ_ALLOCS=$(pick "$MICRO" BenchmarkSimulatorMinuteWithInjector 7)
 APPEND_NS=$(pick "$MICRO" BenchmarkTSDBAppend 3)
 APPEND_B=$(pick "$MICRO" BenchmarkTSDBAppend 5)
 APPEND_ALLOCS=$(pick "$MICRO" BenchmarkTSDBAppend 7)
@@ -60,6 +63,11 @@ cat > "$OUT" <<EOF
     "seed": {"ns_op": ${SEED_SIM_NS}, "b_op": ${SEED_SIM_B}, "allocs_op": ${SEED_SIM_ALLOCS}},
     "now":  {"ns_op": ${SIM_NS}, "b_op": ${SIM_B}, "allocs_op": ${SIM_ALLOCS}},
     "speedup": $(ratio "$SEED_SIM_NS" "$SIM_NS")
+  },
+  "simulator_minute_with_injector": {
+    "now": {"ns_op": ${INJ_NS}, "b_op": ${INJ_B}, "allocs_op": ${INJ_ALLOCS}},
+    "overhead_vs_no_injector": $(ratio "$INJ_NS" "$SIM_NS"),
+    "budget": "fault-free injector overhead must stay under 1.05x at 0 allocs/op"
   },
   "tsdb_append": {
     "seed": {"ns_op": ${SEED_APPEND_NS}, "b_op": ${SEED_APPEND_B}, "allocs_op": ${SEED_APPEND_ALLOCS}},

@@ -2,8 +2,11 @@
 # Full verification recipe: build, static checks, the whole test
 # suite, then the race detector over the concurrency-heavy packages
 # (the scraper/SLO pipeline, the instrumented API, the TSDB, the
-# parallel sweep engine and the simulator it fans out, and the audit
-# ledger with its background resolver).
+# parallel sweep engine and the simulator it fans out, the audit
+# ledger with its background resolver, and the chaos layer — whose
+# invariant suite runs its fixed 3-seed × every-fault-kind matrix
+# under -race here), then a short fuzz smoke over the two parsers
+# that face untrusted input (config YAML, API range queries).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,4 +16,8 @@ go test ./...
 go test -race ./internal/telemetry ./internal/api ./internal/tsdb
 go test -race ./internal/audit
 go test -race ./internal/experiments ./internal/heron
+go test -race ./internal/chaos ./internal/metrics
+FUZZTIME="${VERIFY_FUZZTIME:-10s}"
+go test -run '^$' -fuzz '^FuzzParse$' -fuzztime "$FUZZTIME" ./internal/yamlite
+go test -run '^$' -fuzz '^FuzzParseQueryRange$' -fuzztime "$FUZZTIME" ./internal/api
 echo "verify: all checks passed"
