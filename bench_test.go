@@ -28,6 +28,7 @@ import (
 	"caladrius/internal/experiments"
 	"caladrius/internal/forecast"
 	"caladrius/internal/heron"
+	"caladrius/internal/incident"
 	"caladrius/internal/metrics"
 	"caladrius/internal/telemetry"
 	"caladrius/internal/topology"
@@ -326,6 +327,66 @@ func BenchmarkCounterInc(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Inc()
+	}
+}
+
+// BenchmarkLogRingAppend measures the flight recorder's log-ring hot
+// path — every access-log record teed through the ring handler lands
+// here. Once warm the ring overwrites slots in place, reusing each
+// slot's attr buffer: 0 allocs/op.
+func BenchmarkLogRingAppend(b *testing.B) {
+	r := telemetry.NewLogRing(1024)
+	attrs := []byte("method=GET route=/api/v1/health status=200 duration_ms=0.42")
+	t0 := time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 2*r.Cap(); i++ {
+		r.Append(t0, slog.LevelInfo, "http request", "req-1", attrs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		r.Append(t0, slog.LevelInfo, "http request", "req-1", attrs)
+	}); allocs != 0 {
+		b.Fatalf("Append allocates %.1f/op on the warm path, want 0", allocs)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Append(t0, slog.LevelInfo, "http request", "req-1", attrs)
+	}
+}
+
+// BenchmarkSLOEvaluateArmed measures one healthy SLO evaluation pass
+// with the incident recorder's firing hook armed — the recorder's
+// steady-state (idle) overhead on the evaluator loop. The hook slice is
+// only copied when a rule transitions to firing, so an armed-but-idle
+// recorder must cost nothing beyond the evaluation itself.
+func BenchmarkSLOEvaluateArmed(b *testing.B) {
+	reg := telemetry.NewRegistry()
+	db := tsdb.New(24 * time.Hour)
+	t0 := time.Date(2026, 6, 1, 12, 0, 0, 0, time.UTC)
+	for i := -20; i <= 0; i++ {
+		db.Append("caladrius_model_mape", nil, t0.Add(time.Duration(i)*time.Minute), 0.01)
+	}
+	now := t0.Add(time.Second)
+	slo, err := telemetry.NewSLO(db, reg, func() time.Time { return now },
+		telemetry.ModelAccuracyRules(0.08, 24*time.Hour, 15*time.Minute))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec, err := incident.New(incident.Options{
+		Dir:      b.TempDir(),
+		Registry: reg,
+		History:  db,
+		Now:      func() time.Time { return now },
+		Logger:   slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rec.Close()
+	slo.OnFiring(rec.FiringHook())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slo.Evaluate()
 	}
 }
 

@@ -20,11 +20,20 @@
 // served through /api/v1/audit (see `calctl accuracy`);
 // -audit-resolve-interval 0 disables it, -audit-file persists it.
 //
+// With -incident-dir set, an incident flight recorder arms itself on
+// the SLO evaluator: the moment any rule starts firing, it captures a
+// bundle — pprof profiles, the recent structured-log ring, the recent
+// span ring, and the firing rule's metric window — under that
+// directory, debounced per rule by -incident-cooldown and bounded on
+// disk by -incident-retention. Bundles are served through
+// /api/v1/incidents (see `calctl incidents`).
+//
 // Usage:
 //
 //	caladrius [-config caladrius.yaml] [-addr :8642] [-rate 30e6] [-debug-addr localhost:8643]
 //	          [-scrape-interval 5s] [-history-retention 1h] [-history-file caladrius-history.json]
 //	          [-audit-resolve-interval 15s] [-audit-retention 2h] [-audit-file caladrius-audit.json]
+//	          [-incident-dir caladrius-incidents] [-incident-retention 16] [-incident-cooldown 5m]
 //
 // Then query it, e.g.:
 //
@@ -43,6 +52,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -50,6 +60,7 @@ import (
 	"caladrius/internal/audit"
 	"caladrius/internal/config"
 	"caladrius/internal/heron"
+	"caladrius/internal/incident"
 	"caladrius/internal/metrics"
 	"caladrius/internal/telemetry"
 	"caladrius/internal/topology"
@@ -85,6 +96,11 @@ func run() error {
 	fetchRetries := flag.Int("fetch-retries", -1, "metrics fetch retries on transient failure; 0 disables, -1 uses the config value")
 	fetchBackoff := flag.Duration("fetch-backoff", -1, "delay before the first fetch retry (doubles each retry); -1 uses the config value")
 	fetchTimeout := flag.Duration("fetch-timeout", -1, "per-attempt metrics fetch bound; 0 disables, -1 uses the config value")
+	incidentDir := flag.String("incident-dir", "", "capture incident bundles (profiles, logs, spans, metric windows) under this directory when an SLO fires; empty disables the flight recorder")
+	incidentRetention := flag.Int("incident-retention", 16, "how many incident bundles to keep on disk (oldest deleted first)")
+	incidentCooldown := flag.Duration("incident-cooldown", 5*time.Minute, "minimum spacing between SLO-triggered captures of the same rule")
+	mutexFraction := flag.Int("mutex-profile-fraction", -1, "sample 1/n mutex contention events for incident mutex profiles; 0 disables, -1 uses the config value")
+	blockRate := flag.Int("block-profile-rate", -1, "sample blocking events of at least this many nanoseconds for incident block profiles; 0 disables, -1 uses the config value")
 	flag.Parse()
 
 	cfg := config.Default()
@@ -107,8 +123,25 @@ func run() error {
 	if *fetchTimeout >= 0 {
 		cfg.FetchTimeout = *fetchTimeout
 	}
-	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	if *mutexFraction >= 0 {
+		cfg.MutexProfileFraction = *mutexFraction
+	}
+	if *blockRate >= 0 {
+		cfg.BlockProfileRate = *blockRate
+	}
+	// Without these rates the runtime never samples contention, and an
+	// incident bundle's mutex/block profiles come out empty.
+	runtime.SetMutexProfileFraction(cfg.MutexProfileFraction)
+	runtime.SetBlockProfileRate(cfg.BlockProfileRate)
+	// The structured log is teed: stderr for humans, a bounded in-memory
+	// ring so incident bundles carry the moments before the trigger.
+	logRing := telemetry.NewLogRing(0)
+	logger := slog.New(telemetry.TeeHandlers(
+		slog.NewTextHandler(os.Stderr, nil),
+		logRing.Handler(slog.LevelInfo),
+	))
 	reg := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer(0, nil)
 
 	// Metric substrate: load a snapshot from a previous heronsim run,
 	// or simulate fresh history.
@@ -243,13 +276,39 @@ func run() error {
 		scraper.AfterScrape(func(time.Time) { slo.Evaluate() })
 	}
 
+	// Incident flight recorder: armed on the SLO evaluator, capturing a
+	// bundle the moment a rule starts firing.
+	var recorder *incident.Recorder
+	if *incidentDir != "" {
+		recorder, err = incident.New(incident.Options{
+			Dir:        *incidentDir,
+			Registry:   reg,
+			History:    history,
+			Logs:       logRing,
+			Tracer:     tracer,
+			Cooldown:   *incidentCooldown,
+			MaxBundles: *incidentRetention,
+			Logger:     logger,
+		})
+		if err != nil {
+			return err
+		}
+		if slo != nil {
+			slo.OnFiring(recorder.FiringHook())
+		}
+		logger.Info("incident flight recorder armed", "dir", recorder.Dir(),
+			"retention", *incidentRetention, "cooldown", *incidentCooldown)
+	}
+
 	svc, err := api.NewService(cfg, tr, provider, api.Options{
 		Logger:    logger,
 		Now:       func() time.Time { return asOf },
 		Telemetry: reg,
+		Tracer:    tracer,
 		History:   history,
 		SLO:       slo,
 		Audit:     ledger,
+		Incidents: recorder,
 	})
 	if err != nil {
 		return err
@@ -294,6 +353,11 @@ func run() error {
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	_ = server.Shutdown(shutdownCtx)
+	if recorder != nil {
+		// Finish any capture already in flight before exiting; bundles
+		// on disk are re-indexed on the next boot.
+		recorder.Close()
+	}
 	if ledger != nil {
 		ledger.ResolveOnce(asOf) // resolve what we can before snapshotting
 		if *auditFile != "" {

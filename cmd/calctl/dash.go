@@ -140,6 +140,34 @@ func renderDash(c *client, window, step time.Duration, width int) error {
 		}
 		fmt.Println(line)
 	}
+
+	var il incidentList
+	found, err = c.getDecodeOpt("/api/v1/incidents", &il)
+	if err != nil {
+		return err
+	}
+	if found {
+		fmt.Println("\nincidents:")
+		if il.Count == 0 {
+			fmt.Println("  (none captured)")
+			return nil
+		}
+		// Newest first; keep the dashboard to the three most recent.
+		shown := il.Incidents
+		if len(shown) > 3 {
+			shown = shown[:3]
+		}
+		for _, m := range shown {
+			rule := m.Rule
+			if rule == "" {
+				rule = m.Trigger
+			}
+			fmt.Printf("  %-28s %-24s %s\n", m.ID, rule, m.CapturedAt.Format(time.RFC3339))
+		}
+		if il.Count > len(shown) {
+			fmt.Printf("  (%d more — calctl incidents)\n", il.Count-len(shown))
+		}
+	}
 	return nil
 }
 

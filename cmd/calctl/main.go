@@ -19,6 +19,7 @@
 //	trace <id>                           render a job or request span tree
 //	dash [flags]                         live terminal dashboard from the history endpoints
 //	accuracy [flags]                     model accuracy summary from the prediction audit ledger
+//	incidents [list|show <id>|capture]   browse incident flight-recorder bundles
 //
 // traffic flags:  -source-minutes N -horizon-minutes N -model NAME -sync
 // perf flags:     -rate TPM -p comp=N[,comp=N...] -forecast -sync
@@ -99,6 +100,8 @@ func run(args []string) error {
 		return dashCmd(c, rest[1:])
 	case "accuracy":
 		return accuracyCmd(c, rest[1:])
+	case "incidents":
+		return incidentsCmd(c, rest[1:])
 	default:
 		return fmt.Errorf("unknown command %q", rest[0])
 	}

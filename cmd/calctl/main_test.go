@@ -32,7 +32,7 @@ func newTestServer(t *testing.T) (*httptest.Server, *telemetry.Scraper) {
 // newTestServerOpts controls whether the self-monitoring pipeline and
 // the prediction audit ledger are wired in — the degraded-mode calctl
 // tests need servers without them.
-func newTestServerOpts(t *testing.T, selfMonitoring, withAudit bool) (*httptest.Server, *telemetry.Scraper, *audit.Ledger) {
+func newTestServerOpts(t *testing.T, selfMonitoring, withAudit bool, mutate ...func(*api.Options)) (*httptest.Server, *telemetry.Scraper, *audit.Ledger) {
 	t.Helper()
 	sim, err := heron.NewWordCount(heron.WordCountOptions{
 		SplitterP: 3, CounterP: 8,
@@ -88,6 +88,9 @@ func newTestServerOpts(t *testing.T, selfMonitoring, withAudit bool) (*httptest.
 		}
 		opts.Audit = led
 	}
+	for _, m := range mutate {
+		m(&opts)
+	}
 	svc, err := api.NewService(cfg, tr, prov, opts)
 	if err != nil {
 		t.Fatal(err)
@@ -135,16 +138,31 @@ func TestCommands(t *testing.T) {
 		{"query", "word-count", "g.V().hasLabel('stmgr').count()"},
 		{"query", "word-count", "-graph", "logical", "g.V().count()"},
 		// Runs after the sync requests above, so histograms have
-		// observations and the first sync trace ("t-1") exists.
+		// observations.
 		{"metrics"},
 		{"metrics", "-top", "3"},
 		{"metrics", "-raw"},
-		{"trace", "t-1"},
 	}
 	for _, args := range ok {
 		if err := run(append(append([]string{}, base...), args...)); err != nil {
 			t.Errorf("calctl %s: %v", strings.Join(args, " "), err)
 		}
+	}
+	// Sync runs trace under the middleware-assigned request id, echoed
+	// in the response header — the id `calctl trace` takes.
+	resp, err := http.Post(srv.URL+"/api/v1/model/topology/word-count/performance?sync=true",
+		"application/json", strings.NewReader(`{"source_rate_tpm": 30000000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	traceID := resp.Header.Get("X-Caladrius-Trace")
+	if traceID == "" {
+		t.Fatal("sync response missing X-Caladrius-Trace header")
+	}
+	if err := run(append(append([]string{}, base...), "trace", traceID)); err != nil {
+		t.Errorf("calctl trace %s: %v", traceID, err)
 	}
 }
 

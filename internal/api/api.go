@@ -22,6 +22,10 @@
 //	GET  /api/v1/alerts                                   SLO alert states (see history.go)
 //	GET  /api/v1/audit                                    prediction audit ledger (see audit.go)
 //	GET  /api/v1/audit/{id}                               one audit record
+//	GET  /api/v1/incidents                                incident bundles (see incidents.go)
+//	GET  /api/v1/incidents/{id}                           one incident manifest
+//	GET  /api/v1/incidents/{id}/artifacts/{name}          download an incident artifact
+//	POST /api/v1/incidents/capture                        capture an incident bundle now
 package api
 
 import (
@@ -43,6 +47,7 @@ import (
 	"caladrius/internal/core"
 	"caladrius/internal/forecast"
 	"caladrius/internal/graph"
+	"caladrius/internal/incident"
 	"caladrius/internal/metrics"
 	"caladrius/internal/telemetry"
 	"caladrius/internal/tracker"
@@ -65,6 +70,7 @@ type Service struct {
 	history     *tsdb.DB
 	slo         *telemetry.SLO
 	audit       *audit.Ledger
+	incidents   *incident.Recorder
 	httpInst    *httpInstruments
 	jobsRunning *telemetry.Gauge
 	jobsDone    *telemetry.Counter
@@ -104,6 +110,9 @@ type Options struct {
 	// into. Nil disables recording and leaves /api/v1/audit answering
 	// 404.
 	Audit *audit.Ledger
+	// Incidents is the flight recorder whose bundles the incidents
+	// endpoints serve. Nil leaves /api/v1/incidents answering 404.
+	Incidents *incident.Recorder
 }
 
 // New builds a service. logger and now are optional; telemetry is
@@ -148,6 +157,7 @@ func NewService(cfg config.Config, tr *tracker.Tracker, provider metrics.Provide
 		history:     opts.History,
 		slo:         opts.SLO,
 		audit:       opts.Audit,
+		incidents:   opts.Incidents,
 		httpInst:    newHTTPInstruments(reg),
 		jobsRunning: reg.Gauge("caladrius_jobs_running", nil),
 		jobsDone:    reg.Counter("caladrius_jobs_completed_total", telemetry.Labels{"outcome": "done"}),
@@ -180,6 +190,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/api/v1/alerts", s.handleAlerts)
 	mux.HandleFunc("/api/v1/audit", s.handleAuditList)
 	mux.HandleFunc("/api/v1/audit/", s.handleAuditRecord)
+	mux.HandleFunc("/api/v1/incidents", s.handleIncidentsList)
+	mux.HandleFunc("/api/v1/incidents/", s.handleIncident)
 	return instrument(mux, s.httpInst, s.logger)
 }
 
@@ -432,11 +444,13 @@ const TraceHeader = "X-Caladrius-Trace"
 
 // dispatch runs fn inline (?sync=true) or as an asynchronous job,
 // opening a trace whose root span covers the whole model run. Async
-// jobs trace under their job id; sync runs get an auto id returned in
-// the TraceHeader response header.
+// jobs trace under their job id; sync runs trace under the request's
+// middleware-assigned trace id (already echoed in the TraceHeader
+// response header), so the header, the access-log line and the span
+// tree of one request share a single id.
 func (s *Service) dispatch(w http.ResponseWriter, r *http.Request, op string, fn func(context.Context) (any, error)) {
 	if r.URL.Query().Get("sync") == "true" {
-		root := s.tracer.Start("", op)
+		root := s.tracer.Start(RequestTraceID(r.Context()), op)
 		root.SetAttr("path", r.URL.Path)
 		root.SetAttr("mode", "sync")
 		result, err := fn(telemetry.ContextWithSpan(r.Context(), root))

@@ -1,10 +1,13 @@
 package api
 
 import (
+	"context"
 	"log/slog"
 	"net/http"
 	"runtime/debug"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"caladrius/internal/telemetry"
@@ -27,11 +30,15 @@ const (
 	routeQuery       = "/api/v1/model/topology/{topology}/query"
 	routeJob         = "/api/v1/jobs/{id}"
 	routeJobTrace    = "/api/v1/jobs/{id}/trace"
-	routeQueryRange  = "/api/v1/query_range"
-	routeAlerts      = "/api/v1/alerts"
-	routeAudit       = "/api/v1/audit"
-	routeAuditRecord = "/api/v1/audit/{id}"
-	routeOther       = "other"
+	routeQueryRange       = "/api/v1/query_range"
+	routeAlerts           = "/api/v1/alerts"
+	routeAudit            = "/api/v1/audit"
+	routeAuditRecord      = "/api/v1/audit/{id}"
+	routeIncidents        = "/api/v1/incidents"
+	routeIncidentCapture  = "/api/v1/incidents/capture"
+	routeIncident         = "/api/v1/incidents/{id}"
+	routeIncidentArtifact = "/api/v1/incidents/{id}/artifacts/{name}"
+	routeOther            = "other"
 )
 
 var allRoutes = []string{
@@ -39,6 +46,7 @@ var allRoutes = []string{
 	routePerformance, routeSuggest, routeCalibrate, routeModel,
 	routeGraph, routeQuery, routeJob, routeJobTrace,
 	routeQueryRange, routeAlerts, routeAudit, routeAuditRecord,
+	routeIncidents, routeIncidentCapture, routeIncident, routeIncidentArtifact,
 	routeOther,
 }
 
@@ -56,6 +64,23 @@ func routePattern(path string) string {
 		return routeAlerts
 	case routeAudit:
 		return routeAudit
+	case routeIncidents:
+		return routeIncidents
+	case routeIncidentCapture:
+		return routeIncidentCapture
+	}
+	if rest, ok := strings.CutPrefix(path, "/api/v1/incidents/"); ok {
+		id, sub, hasSub := strings.Cut(rest, "/")
+		switch {
+		case id == "":
+			return routeOther
+		case !hasSub:
+			return routeIncident
+		}
+		if name, ok := strings.CutPrefix(sub, "artifacts/"); ok && name != "" && !strings.Contains(name, "/") {
+			return routeIncidentArtifact
+		}
+		return routeOther
 	}
 	if rest, ok := strings.CutPrefix(path, "/api/v1/audit/"); ok {
 		if rest != "" && !strings.Contains(rest, "/") {
@@ -108,6 +133,47 @@ func routePattern(path string) string {
 		}
 	}
 	return routeOther
+}
+
+// --- request trace ids -----------------------------------------------------
+
+// Every request gets a trace id the moment it enters the middleware:
+// the sanitized incoming X-Caladrius-Trace header when the client sent
+// one, else a generated "req-N". The id is echoed in the response
+// header, stamped on the access-log line, attached to the latency
+// histogram as an exemplar, and reused by the sync dispatch path as
+// the tracer's trace id — so logs, spans and metrics of one request
+// all join on a single id.
+
+type reqTraceKey struct{}
+
+var traceSeq atomic.Uint64
+
+// RequestTraceID returns the trace id the middleware assigned to the
+// request, or "" when the request did not pass through instrument
+// (direct handler tests).
+func RequestTraceID(ctx context.Context) string {
+	id, _ := ctx.Value(reqTraceKey{}).(string)
+	return id
+}
+
+// sanitizeTraceID accepts a client-supplied trace id only when it is
+// short and printable-token shaped, so log lines and response headers
+// cannot be polluted with arbitrary bytes.
+func sanitizeTraceID(id string) string {
+	if id == "" || len(id) > 64 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.' || c == ':':
+		default:
+			return ""
+		}
+	}
+	return id
 }
 
 // statusClasses index requests_total counters: status/100-1.
@@ -190,6 +256,12 @@ func instrument(next http.Handler, inst *httpInstruments, logger *slog.Logger) h
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		inst.inFlight.Inc()
+		trace := sanitizeTraceID(r.Header.Get(TraceHeader))
+		if trace == "" {
+			trace = "req-" + strconv.FormatUint(traceSeq.Add(1), 10)
+		}
+		w.Header().Set(TraceHeader, trace)
+		r = r.WithContext(context.WithValue(r.Context(), reqTraceKey{}, trace))
 		rec := statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		defer func() {
 			if v := recover(); v != nil {
@@ -215,8 +287,14 @@ func instrument(next http.Handler, inst *httpInstruments, logger *slog.Logger) h
 			if idx < 0 || idx >= len(ri.requests) {
 				idx = 4
 			}
+			// Async dispatch overwrites the response header with the job
+			// id; reading it back here keeps the logged trace id and the
+			// exemplar pointing at the trace that actually exists.
+			if hdr := rec.Header().Get(TraceHeader); hdr != "" {
+				trace = hdr
+			}
 			ri.requests[idx].Inc()
-			ri.latency.Observe(elapsed.Seconds())
+			ri.latency.ObserveExemplar(elapsed.Seconds(), trace)
 			ri.bytes.Add(float64(rec.bytes))
 			logger.Info("http request",
 				"method", r.Method,
@@ -225,6 +303,7 @@ func instrument(next http.Handler, inst *httpInstruments, logger *slog.Logger) h
 				"status", rec.status,
 				"bytes", rec.bytes,
 				"duration_ms", float64(elapsed)/float64(time.Millisecond),
+				"trace", trace,
 			)
 		}()
 		next.ServeHTTP(&rec, r)

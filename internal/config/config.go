@@ -22,6 +22,9 @@
 //	  retries: 2
 //	  backoff_ms: 50
 //	  timeout_seconds: 10
+//	profiling:
+//	  mutex_fraction: 100
+//	  block_rate_ns: 10000
 package config
 
 import (
@@ -63,6 +66,15 @@ type Config struct {
 	FetchBackoff time.Duration
 	// FetchTimeout bounds each individual fetch attempt (0 = no bound).
 	FetchTimeout time.Duration
+	// MutexProfileFraction is runtime.SetMutexProfileFraction's rate:
+	// 1/n mutex contention events are sampled (0 disables sampling and
+	// leaves incident mutex profiles empty).
+	MutexProfileFraction int
+	// BlockProfileRate is runtime.SetBlockProfileRate's threshold in
+	// nanoseconds: blocking events lasting at least this long are
+	// sampled (0 disables sampling and leaves incident block profiles
+	// empty).
+	BlockProfileRate int
 }
 
 // Default returns the configuration used when no file is given.
@@ -77,6 +89,11 @@ func Default() Config {
 		FetchRetries:        2,
 		FetchBackoff:        50 * time.Millisecond,
 		FetchTimeout:        10 * time.Second,
+		// Sampling 1/100 contention events and ≥10µs blocking events is
+		// cheap enough for an always-on daemon while keeping incident
+		// contention profiles non-empty.
+		MutexProfileFraction: 100,
+		BlockProfileRate:     10000,
 	}
 }
 
@@ -172,6 +189,21 @@ func Parse(src string) (Config, error) {
 		}
 	}
 
+	if p, ok, err := section(doc, "profiling"); err != nil {
+		return Config{}, err
+	} else if ok {
+		if v, ok, err := floatKey(p, "mutex_fraction"); err != nil {
+			return Config{}, err
+		} else if ok {
+			cfg.MutexProfileFraction = int(v)
+		}
+		if v, ok, err := floatKey(p, "block_rate_ns"); err != nil {
+			return Config{}, err
+		} else if ok {
+			cfg.BlockProfileRate = int(v)
+		}
+	}
+
 	if c, ok, err := section(doc, "calibration"); err != nil {
 		return Config{}, err
 	} else if ok {
@@ -218,6 +250,12 @@ func (c Config) Validate() error {
 	}
 	if c.FetchTimeout < 0 {
 		return fmt.Errorf("config: negative fetch timeout %s", c.FetchTimeout)
+	}
+	if c.MutexProfileFraction < 0 {
+		return fmt.Errorf("config: negative mutex profile fraction %d", c.MutexProfileFraction)
+	}
+	if c.BlockProfileRate < 0 {
+		return fmt.Errorf("config: negative block profile rate %d", c.BlockProfileRate)
 	}
 	return nil
 }

@@ -35,6 +35,9 @@ traffic_models:
 calibration:
   warmup_windows: 2
   lookback_minutes: 90
+profiling:
+  mutex_fraction: 50
+  block_rate_ns: 5000
 `
 	cfg, err := Parse(src)
 	if err != nil {
@@ -60,6 +63,9 @@ calibration:
 	}
 	if cfg.CalibrationWarmup != 2 || cfg.CalibrationLookback != 90*time.Minute {
 		t.Errorf("calibration = %+v", cfg)
+	}
+	if cfg.MutexProfileFraction != 50 || cfg.BlockProfileRate != 5000 {
+		t.Errorf("profiling = %+v", cfg)
 	}
 }
 
@@ -95,6 +101,8 @@ func TestParseErrors(t *testing.T) {
 		{"calibration:\n  warmup_windows: -2", "warmup"},
 		{"calibration:\n  lookback_minutes: 0", "lookback"},
 		{"api:\n  addr: ''", "empty api addr"},
+		{"profiling:\n  mutex_fraction: -1", "mutex profile fraction"},
+		{"profiling:\n  block_rate_ns: -1", "block profile rate"},
 	}
 	for _, c := range cases {
 		_, err := Parse(c.src)

@@ -1,0 +1,309 @@
+package incident
+
+import (
+	"encoding/json"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"caladrius/internal/telemetry"
+	"caladrius/internal/tsdb"
+)
+
+// fakeClock is a mutex-guarded clock shared between the test goroutine
+// and the recorder's capture worker.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func testRule() telemetry.Rule {
+	return telemetry.Rule{
+		Name:        "model-accuracy-drift",
+		Description: "rolling MAPE above threshold",
+		Metric:      "caladrius_model_mape",
+		Window:      15 * time.Minute,
+		Agg:         tsdb.AggLast,
+		Op:          telemetry.OpGreater,
+		Threshold:   0.08,
+	}
+}
+
+func testAlert(rule telemetry.Rule, at time.Time) telemetry.Alert {
+	v := 0.31
+	return telemetry.Alert{
+		Rule:        rule.Name,
+		Description: rule.Description,
+		State:       telemetry.StateFiring,
+		Value:       &v,
+		Threshold:   rule.Threshold,
+		Op:          string(rule.Op),
+		Window:      rule.Window.String(),
+		Since:       &at,
+		EvaluatedAt: at,
+	}
+}
+
+// newTestRecorder builds a fully-sourced recorder with a fast CPU
+// profile window and a fake clock.
+func newTestRecorder(t *testing.T, clock *fakeClock, maxBundles int) (*Recorder, *telemetry.Registry, *telemetry.LogRing, *telemetry.Tracer, *tsdb.DB) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	logs := telemetry.NewLogRing(64)
+	tracer := telemetry.NewTracer(16, nil)
+	db := tsdb.New(24 * time.Hour)
+	rec, err := New(Options{
+		Dir:        filepath.Join(t.TempDir(), "incidents"),
+		Registry:   reg,
+		History:    db,
+		Logs:       logs,
+		Tracer:     tracer,
+		Cooldown:   5 * time.Minute,
+		MaxBundles: maxBundles,
+		CPUProfile: 20 * time.Millisecond,
+		Now:        clock.Now,
+		Logger:     slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelError})),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rec.Close)
+	return rec, reg, logs, tracer, db
+}
+
+func counterValue(t *testing.T, reg *telemetry.Registry, name string, labels telemetry.Labels) float64 {
+	t.Helper()
+	return reg.Counter(name, labels).Value()
+}
+
+func TestCaptureNowBundle(t *testing.T) {
+	clock := newFakeClock()
+	rec, reg, logs, tracer, _ := newTestRecorder(t, clock, 8)
+
+	logs.Append(clock.Now(), slog.LevelInfo, "http request", "req-1", []byte("status=200"))
+	sp := tracer.Start("req-1", "performance")
+	sp.End()
+
+	m, err := rec.CaptureNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Trigger != TriggerManual || m.Version != BundleVersion {
+		t.Errorf("manifest = %+v", m)
+	}
+	wantArtifacts := []string{
+		ArtifactCPU, ArtifactHeap, ArtifactGoroutine, ArtifactMutex,
+		ArtifactBlock, ArtifactLogs, ArtifactSpans,
+	}
+	have := map[string]bool{}
+	for _, a := range m.Artifacts {
+		have[a.Name] = true
+		if a.Bytes <= 0 {
+			t.Errorf("artifact %s is empty", a.Name)
+		}
+		if _, err := os.Stat(filepath.Join(rec.Dir(), m.ID, a.Name)); err != nil {
+			t.Errorf("artifact %s: %v", a.Name, err)
+		}
+	}
+	for _, name := range wantArtifacts {
+		if !have[name] {
+			t.Errorf("bundle missing %s (notes: %v)", name, m.Notes)
+		}
+	}
+	if m.LogRecords != 1 || m.SpanTraces != 1 {
+		t.Errorf("log records = %d, span traces = %d", m.LogRecords, m.SpanTraces)
+	}
+	// "req-1" appears in both the log ring and the span ring: joined.
+	if len(m.JoinedTraceIDs) != 1 || m.JoinedTraceIDs[0] != "req-1" {
+		t.Errorf("joined traces = %v", m.JoinedTraceIDs)
+	}
+	// Manifest presence marks completion and round-trips from disk.
+	data, err := os.ReadFile(filepath.Join(rec.Dir(), m.ID, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var onDisk Manifest
+	if err := json.Unmarshal(data, &onDisk); err != nil {
+		t.Fatal(err)
+	}
+	if onDisk.ID != m.ID || len(onDisk.Artifacts) != len(m.Artifacts) {
+		t.Errorf("on-disk manifest = %+v", onDisk)
+	}
+	if got, ok := rec.Get(m.ID); !ok || got.ID != m.ID {
+		t.Errorf("Get(%s) = %+v, %v", m.ID, got, ok)
+	}
+	if path, ok := rec.ArtifactPath(m.ID, ArtifactHeap); !ok || path == "" {
+		t.Errorf("ArtifactPath = %q, %v", path, ok)
+	}
+	if _, ok := rec.ArtifactPath(m.ID, "../../etc/passwd"); ok {
+		t.Error("ArtifactPath resolved an unlisted name")
+	}
+	if got := counterValue(t, reg, "caladrius_incident_captures_total", telemetry.Labels{"trigger": TriggerManual}); got != 1 {
+		t.Errorf("manual captures = %g", got)
+	}
+}
+
+func TestFiringHookCooldown(t *testing.T) {
+	clock := newFakeClock()
+	rec, reg, _, _, db := newTestRecorder(t, clock, 8)
+	rule := testRule()
+	for i := -20; i <= 0; i++ {
+		db.Append(rule.Metric, nil, clock.Now().Add(time.Duration(i)*time.Minute), 0.3)
+	}
+	hook := rec.FiringHook()
+
+	hook(rule, testAlert(rule, clock.Now()))
+	rec.Flush()
+	if n := len(rec.List()); n != 1 {
+		t.Fatalf("bundles after first fire = %d", n)
+	}
+
+	// A flap inside the cooldown is debounced.
+	clock.Advance(time.Minute)
+	hook(rule, testAlert(rule, clock.Now()))
+	rec.Flush()
+	if n := len(rec.List()); n != 1 {
+		t.Fatalf("bundles after debounced fire = %d", n)
+	}
+	if got := counterValue(t, reg, "caladrius_incident_suppressed_total", nil); got != 1 {
+		t.Errorf("suppressed = %g", got)
+	}
+
+	// Past the cooldown the same rule captures again.
+	clock.Advance(5 * time.Minute)
+	hook(rule, testAlert(rule, clock.Now()))
+	rec.Flush()
+	if n := len(rec.List()); n != 2 {
+		t.Fatalf("bundles after cooldown elapsed = %d", n)
+	}
+	if got := counterValue(t, reg, "caladrius_incident_captures_total", telemetry.Labels{"trigger": TriggerSLO}); got != 2 {
+		t.Errorf("slo captures = %g", got)
+	}
+
+	// The SLO-triggered bundle carries the alert and a metrics window
+	// spanning rule window + lookback.
+	m := rec.List()[0]
+	if m.Rule != rule.Name || m.Alert == nil || m.Alert.Value == nil || *m.Alert.Value != 0.31 {
+		t.Errorf("manifest = %+v", m)
+	}
+	if m.Metrics == nil || m.Metrics.Metric != rule.Metric || m.Metrics.Points == 0 {
+		t.Fatalf("metrics window = %+v", m.Metrics)
+	}
+	if got := m.Metrics.End.Sub(m.Metrics.Start); got != rule.Window+5*time.Minute {
+		t.Errorf("metrics span = %s", got)
+	}
+	foundMetrics := false
+	for _, a := range m.Artifacts {
+		if a.Name == ArtifactMetrics {
+			foundMetrics = true
+		}
+	}
+	if !foundMetrics {
+		t.Errorf("no metrics artifact: %+v", m.Artifacts)
+	}
+}
+
+func TestCooldownIsPerRule(t *testing.T) {
+	clock := newFakeClock()
+	rec, _, _, _, _ := newTestRecorder(t, clock, 8)
+	hook := rec.FiringHook()
+	r1, r2 := testRule(), testRule()
+	r2.Name = "http-p95-latency"
+	hook(r1, testAlert(r1, clock.Now()))
+	hook(r2, testAlert(r2, clock.Now()))
+	rec.Flush()
+	if n := len(rec.List()); n != 2 {
+		t.Fatalf("bundles = %d, want 2 (cooldown must not couple rules)", n)
+	}
+}
+
+func TestRetentionPrunesOldest(t *testing.T) {
+	clock := newFakeClock()
+	rec, _, _, _, _ := newTestRecorder(t, clock, 2)
+	var ids []string
+	for i := 0; i < 3; i++ {
+		m, err := rec.CaptureNow()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, m.ID)
+		clock.Advance(time.Second)
+	}
+	list := rec.List()
+	if len(list) != 2 {
+		t.Fatalf("retained = %d", len(list))
+	}
+	// Newest first.
+	if list[0].ID != ids[2] || list[1].ID != ids[1] {
+		t.Errorf("list = [%s %s], want [%s %s]", list[0].ID, list[1].ID, ids[2], ids[1])
+	}
+	if _, err := os.Stat(filepath.Join(rec.Dir(), ids[0])); !os.IsNotExist(err) {
+		t.Errorf("evicted bundle dir still on disk: %v", err)
+	}
+}
+
+func TestRestartReindexesBundles(t *testing.T) {
+	clock := newFakeClock()
+	rec, _, _, _, _ := newTestRecorder(t, clock, 8)
+	m1, err := rec.CaptureNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(time.Second)
+	m2, err := rec.CaptureNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := rec.Dir()
+	rec.Close()
+
+	// An incomplete bundle (no manifest) must be ignored.
+	if err := os.MkdirAll(filepath.Join(dir, "half-written"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	rec2, err := New(Options{Dir: dir, Registry: telemetry.NewRegistry(), Now: clock.Now,
+		Logger: slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelError}))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec2.Close()
+	list := rec2.List()
+	if len(list) != 2 || list[0].ID != m2.ID || list[1].ID != m1.ID {
+		t.Fatalf("reindexed = %+v", list)
+	}
+}
+
+func TestClosedRecorderRejectsWork(t *testing.T) {
+	clock := newFakeClock()
+	rec, _, _, _, _ := newTestRecorder(t, clock, 8)
+	hook := rec.FiringHook()
+	rec.Close()
+	if _, err := rec.CaptureNow(); err == nil {
+		t.Error("CaptureNow on closed recorder succeeded")
+	}
+	rule := testRule()
+	hook(rule, testAlert(rule, clock.Now())) // must not panic or enqueue
+	if n := len(rec.List()); n != 0 {
+		t.Errorf("bundles = %d", n)
+	}
+}

@@ -83,10 +83,18 @@ func (g *Gauge) Value() float64 { return g.v.Load() }
 // bounds (inclusive, Prometheus "le" semantics); a final +Inf bucket is
 // implicit. Observe is lock-free and allocation-free.
 type Histogram struct {
-	bounds []float64 // sorted, exclusive of +Inf
-	counts []atomic.Uint64
-	sum    atomicFloat
-	count  atomic.Uint64
+	bounds   []float64 // sorted, exclusive of +Inf
+	counts   []atomic.Uint64
+	sum      atomicFloat
+	count    atomic.Uint64
+	exemplar atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one observation to the trace that produced it, so a
+// latency histogram can answer "show me a request that was this slow".
+type Exemplar struct {
+	Value float64 `json:"value"`
+	Trace string  `json:"trace"`
 }
 
 // Observe records one value.
@@ -99,6 +107,20 @@ func (h *Histogram) Observe(v float64) {
 	h.sum.Add(v)
 	h.count.Add(1)
 }
+
+// ObserveExemplar records one value and, when trace is non-empty,
+// remembers it as the histogram's latest exemplar. The exemplar swap
+// is a single atomic pointer store; its allocation is the only cost
+// over Observe.
+func (h *Histogram) ObserveExemplar(v float64, trace string) {
+	h.Observe(v)
+	if trace != "" {
+		h.exemplar.Store(&Exemplar{Value: v, Trace: trace})
+	}
+}
+
+// Exemplar returns the latest exemplar, or nil when none was recorded.
+func (h *Histogram) Exemplar() *Exemplar { return h.exemplar.Load() }
 
 // Sum returns the total of all observed values.
 func (h *Histogram) Sum() float64 { return h.sum.Load() }
@@ -416,6 +438,8 @@ type SeriesJSON struct {
 	Buckets []BucketJSON `json:"buckets,omitempty"`
 	Sum     *float64     `json:"sum,omitempty"`
 	Count   *uint64      `json:"count,omitempty"`
+	// Exemplar is the histogram's latest trace-linked observation.
+	Exemplar *Exemplar `json:"exemplar,omitempty"`
 }
 
 // MetricJSON is one metric family in the JSON export.
@@ -466,6 +490,7 @@ func (r *Registry) Snapshot() []MetricJSON {
 				sj.Buckets = append(sj.Buckets, BucketJSON{LE: math.MaxFloat64, Count: cum[len(cum)-1]})
 				sum, cnt := inst.Sum(), inst.Count()
 				sj.Sum, sj.Count = &sum, &cnt
+				sj.Exemplar = inst.Exemplar()
 			}
 			mj.Series = append(mj.Series, sj)
 		}

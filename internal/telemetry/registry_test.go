@@ -211,3 +211,34 @@ func TestRegistryConcurrency(t *testing.T) {
 		t.Errorf("gauge = %g, want 0", got)
 	}
 }
+
+// TestHistogramExemplar pins exemplar semantics: the latest traced
+// observation wins, untraced observations leave it alone, and the
+// exemplar rides out in the JSON snapshot.
+func TestHistogramExemplar(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_ex", []float64{1}, nil)
+	if h.Exemplar() != nil {
+		t.Fatal("fresh histogram has an exemplar")
+	}
+	h.ObserveExemplar(0.25, "req-1")
+	h.ObserveExemplar(0.75, "req-2")
+	h.ObserveExemplar(0.5, "") // untraced: observed but no exemplar update
+	ex := h.Exemplar()
+	if ex == nil || ex.Trace != "req-2" || ex.Value != 0.75 {
+		t.Fatalf("exemplar = %+v", ex)
+	}
+	if h.Count() != 3 {
+		t.Errorf("count = %d", h.Count())
+	}
+	for _, m := range r.Snapshot() {
+		if m.Name != "lat_ex" {
+			continue
+		}
+		if m.Series[0].Exemplar == nil || m.Series[0].Exemplar.Trace != "req-2" {
+			t.Fatalf("snapshot exemplar = %+v", m.Series[0].Exemplar)
+		}
+		return
+	}
+	t.Fatal("lat_ex not in snapshot")
+}

@@ -93,6 +93,7 @@ type SLO struct {
 	firing     map[string]time.Time
 	toFiring   map[string]*Counter
 	toResolved map[string]*Counter
+	onFiring   []func(Rule, Alert)
 }
 
 // NewSLO validates rules, registers their transition counters on reg
@@ -147,13 +148,31 @@ func NewSLO(db *tsdb.DB, reg *Registry, now func() time.Time, rules []Rule) (*SL
 // Rules returns a copy of the configured rule set.
 func (s *SLO) Rules() []Rule { return append([]Rule(nil), s.rules...) }
 
+// OnFiring registers fn to be invoked for every rule that transitions
+// to firing — the hook the incident flight recorder arms itself on.
+// Callbacks run after Evaluate has released the evaluator lock, on the
+// Evaluate caller's goroutine; anything slow must hand the work off
+// (the recorder enqueues an asynchronous capture).
+func (s *SLO) OnFiring(fn func(Rule, Alert)) {
+	if fn == nil {
+		return
+	}
+	s.mu.Lock()
+	s.onFiring = append(s.onFiring, fn)
+	s.mu.Unlock()
+}
+
 // Evaluate checks every rule against its window ending now and returns
 // the alert states, flipping firing/resolved and incrementing the
 // transition counters as needed.
 func (s *SLO) Evaluate() []Alert {
 	now := s.now()
+	type transition struct {
+		rule  Rule
+		alert Alert
+	}
+	var fired []transition
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	out := make([]Alert, 0, len(s.rules))
 	for _, r := range s.rules {
 		a := Alert{
@@ -177,11 +196,13 @@ func (s *SLO) Evaluate() []Alert {
 		a.Value = &val
 		breach := (r.Op == OpGreater && v > r.Threshold) || (r.Op == OpLess && v < r.Threshold)
 		since, wasFiring := s.firing[r.Name]
+		newlyFiring := false
 		switch {
 		case breach && !wasFiring:
 			since = now
 			s.firing[r.Name] = since
 			s.toFiring[r.Name].Inc()
+			newlyFiring = true
 		case !breach && wasFiring:
 			delete(s.firing, r.Name)
 			s.toResolved[r.Name].Inc()
@@ -193,6 +214,19 @@ func (s *SLO) Evaluate() []Alert {
 			a.State = StateOK
 		}
 		out = append(out, a)
+		if newlyFiring {
+			fired = append(fired, transition{rule: r, alert: a})
+		}
+	}
+	var hooks []func(Rule, Alert)
+	if len(fired) > 0 {
+		hooks = append(hooks, s.onFiring...)
+	}
+	s.mu.Unlock()
+	for _, tr := range fired {
+		for _, fn := range hooks {
+			fn(tr.rule, tr.alert)
+		}
 	}
 	return out
 }

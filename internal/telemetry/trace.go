@@ -196,6 +196,32 @@ func (t *Tracer) Snapshot(traceID string) (TraceJSON, bool) {
 	if !ok {
 		return TraceJSON{}, false
 	}
+	return t.snapshotLocked(rec), true
+}
+
+// Recent returns snapshots of up to n of the most recently started
+// traces, oldest first — the span ring an incident bundle captures.
+func (t *Tracer) Recent(n int) []TraceJSON {
+	if t == nil || n <= 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ids := t.order
+	if len(ids) > n {
+		ids = ids[len(ids)-n:]
+	}
+	out := make([]TraceJSON, 0, len(ids))
+	for _, id := range ids {
+		if rec, ok := t.traces[id]; ok {
+			out = append(out, t.snapshotLocked(rec))
+		}
+	}
+	return out
+}
+
+// snapshotLocked builds the span tree of one trace. Caller holds t.mu.
+func (t *Tracer) snapshotLocked(rec *traceRec) TraceJSON {
 	now := t.now()
 	children := map[int][]*Span{}
 	for _, sp := range rec.spans {
@@ -222,7 +248,7 @@ func (t *Tracer) Snapshot(traceID string) (TraceJSON, bool) {
 		}
 		return out
 	}
-	return TraceJSON{TraceID: traceID, Spans: build(0)}, true
+	return TraceJSON{TraceID: rec.id, Spans: build(0)}
 }
 
 // Len reports how many traces are retained (for tests).

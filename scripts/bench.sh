@@ -21,7 +21,7 @@ SEED_SWEEP_NS=247852953
 
 echo "== micro benchmarks (${MICRO_TIME}) =="
 MICRO=$(go test -run '^$' \
-    -bench 'BenchmarkSimulatorMinute$|BenchmarkSimulatorMinuteWithInjector$|BenchmarkTSDBAppend$|BenchmarkTSDBAppendHandle$' \
+    -bench 'BenchmarkSimulatorMinute$|BenchmarkSimulatorMinuteWithInjector$|BenchmarkTSDBAppend$|BenchmarkTSDBAppendHandle$|BenchmarkLogRingAppend$|BenchmarkSLOEvaluateArmed$' \
     -benchmem -benchtime "$MICRO_TIME" .)
 echo "$MICRO"
 
@@ -47,6 +47,12 @@ APPEND_ALLOCS=$(pick "$MICRO" BenchmarkTSDBAppend 7)
 HANDLE_NS=$(pick "$MICRO" BenchmarkTSDBAppendHandle 3)
 HANDLE_B=$(pick "$MICRO" BenchmarkTSDBAppendHandle 5)
 HANDLE_ALLOCS=$(pick "$MICRO" BenchmarkTSDBAppendHandle 7)
+LOGRING_NS=$(pick "$MICRO" BenchmarkLogRingAppend 3)
+LOGRING_B=$(pick "$MICRO" BenchmarkLogRingAppend 5)
+LOGRING_ALLOCS=$(pick "$MICRO" BenchmarkLogRingAppend 7)
+SLOARMED_NS=$(pick "$MICRO" BenchmarkSLOEvaluateArmed 3)
+SLOARMED_B=$(pick "$MICRO" BenchmarkSLOEvaluateArmed 5)
+SLOARMED_ALLOCS=$(pick "$MICRO" BenchmarkSLOEvaluateArmed 7)
 SWEEP1_NS=$(pick "$SWEEP" BenchmarkSweepParallel1 3)
 SWEEP8_NS=$(pick "$SWEEP" BenchmarkSweepParallel8 3)
 
@@ -76,6 +82,14 @@ cat > "$OUT" <<EOF
   "tsdb_append_handle": {
     "now": {"ns_op": ${HANDLE_NS}, "b_op": ${HANDLE_B}, "allocs_op": ${HANDLE_ALLOCS}},
     "speedup_vs_append": $(ratio "$APPEND_NS" "$HANDLE_NS")
+  },
+  "logring_append": {
+    "now": {"ns_op": ${LOGRING_NS}, "b_op": ${LOGRING_B}, "allocs_op": ${LOGRING_ALLOCS}},
+    "budget": "flight-recorder log ring append must stay at 0 allocs/op"
+  },
+  "slo_evaluate_armed": {
+    "now": {"ns_op": ${SLOARMED_NS}, "b_op": ${SLOARMED_B}, "allocs_op": ${SLOARMED_ALLOCS}},
+    "note": "one healthy SLO evaluation pass with the incident recorder hook armed — the idle-recorder overhead on the evaluator loop"
   },
   "fig04_sweep": {
     "seed_sequential_ns": ${SEED_SWEEP_NS},

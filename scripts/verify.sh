@@ -3,10 +3,11 @@
 # suite, then the race detector over the concurrency-heavy packages
 # (the scraper/SLO pipeline, the instrumented API, the TSDB, the
 # parallel sweep engine and the simulator it fans out, the audit
-# ledger with its background resolver, and the chaos layer — whose
-# invariant suite runs its fixed 3-seed × every-fault-kind matrix
-# under -race here), then a short fuzz smoke over the two parsers
-# that face untrusted input (config YAML, API range queries).
+# ledger with its background resolver, the incident flight recorder
+# with its capture worker, and the chaos layer — whose invariant
+# suite runs its fixed 3-seed × every-fault-kind matrix under -race
+# here), then a short fuzz smoke over the two parsers that face
+# untrusted input (config YAML, API range queries).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,6 +15,7 @@ go build ./...
 go vet ./...
 go test ./...
 go test -race ./internal/telemetry ./internal/api ./internal/tsdb
+go test -race ./internal/incident
 go test -race ./internal/audit
 go test -race ./internal/experiments ./internal/heron
 go test -race ./internal/chaos ./internal/metrics
