@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"net/http"
 	"net/http/httptest"
 	"sync"
 	"testing"
@@ -34,6 +35,7 @@ import (
 	"caladrius/internal/topology"
 	"caladrius/internal/tracker"
 	"caladrius/internal/tsdb"
+	"caladrius/internal/usage"
 	"caladrius/internal/workload"
 )
 
@@ -416,10 +418,10 @@ func BenchmarkRegistryLookup(b *testing.B) {
 	}
 }
 
-// BenchmarkMiddlewareRequest measures the full instrumented request
-// path — route classification, counters, histogram, access log — over
-// a trivial handler, isolating the telemetry overhead per request.
-func BenchmarkMiddlewareRequest(b *testing.B) {
+// benchMiddlewareHandler builds the instrumented service handler over
+// a small simulated deployment, with extra service options merged in.
+func benchMiddlewareHandler(b *testing.B, extra api.Options) http.Handler {
+	b.Helper()
 	sim, err := heron.NewWordCount(heron.WordCountOptions{RatePerMinute: 8e6})
 	if err != nil {
 		b.Fatal(err)
@@ -446,20 +448,65 @@ func BenchmarkMiddlewareRequest(b *testing.B) {
 	}
 	cfg := config.Default()
 	cfg.CalibrationLookback = 2 * time.Minute
-	svc, err := api.NewService(cfg, tr, provider, api.Options{
-		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
-		Now:    func() time.Time { return asOf },
-	})
+	extra.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	extra.Now = func() time.Time { return asOf }
+	svc, err := api.NewService(cfg, tr, provider, extra)
 	if err != nil {
 		b.Fatal(err)
 	}
-	handler := svc.Handler()
+	return svc.Handler()
+}
+
+// BenchmarkMiddlewareRequest measures the full instrumented request
+// path — route classification, counters, histogram, access log — over
+// a trivial handler, isolating the telemetry overhead per request.
+func BenchmarkMiddlewareRequest(b *testing.B) {
+	handler := benchMiddlewareHandler(b, api.Options{})
 	req := httptest.NewRequest("GET", "/api/v1/health", nil)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rec := httptest.NewRecorder()
 		handler.ServeHTTP(rec, req)
+	}
+}
+
+// BenchmarkMiddlewareRequestAttributed measures the same request path
+// with usage attribution wired in: tenant-header sanitisation, route →
+// topology mapping, and the accountant's Begin/Finish pair on a warm
+// principal — the per-request overhead of tenancy accounting.
+func BenchmarkMiddlewareRequestAttributed(b *testing.B) {
+	acct := usage.New(usage.Options{Registry: telemetry.NewRegistry()})
+	handler := benchMiddlewareHandler(b, api.Options{Usage: acct})
+	req := httptest.NewRequest("GET", "/api/v1/health", nil)
+	req.Header.Set(api.TenantHeader, "bench-tenant")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+	}
+}
+
+// BenchmarkUsageRecord measures the usage accountant's request hot
+// path — Begin plus Finish on a warm (tenant, topology) principal, the
+// cost the middleware adds per attributed request. The per-principal
+// instruments are interned at first touch; after that the path must
+// not allocate.
+func BenchmarkUsageRecord(b *testing.B) {
+	acct := usage.New(usage.Options{Registry: telemetry.NewRegistry()})
+	record := func() {
+		acct.Begin("bench", "word-count")
+		acct.Finish("bench", "word-count", 200, 42*time.Microsecond)
+	}
+	record() // interns the principal and its instruments
+	if allocs := testing.AllocsPerRun(100, record); allocs != 0 {
+		b.Fatalf("Begin+Finish allocates %.1f/op on the warm path, want 0", allocs)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		record()
 	}
 }
 

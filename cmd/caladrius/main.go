@@ -28,12 +28,21 @@
 // disk by -incident-retention. Bundles are served through
 // /api/v1/incidents (see `calctl incidents`).
 //
+// Every request and model run is also billed to a (tenant, topology)
+// usage principal — tenant from the X-Caladrius-Tenant header,
+// anonymous otherwise — with cardinality capped at -usage-topk
+// principals (the rest roll into an "other" bucket). Per-principal
+// caladrius_tenant_* series flow through the scraper like everything
+// else, and the ranked breakdown is served through /api/v1/usage (see
+// `calctl usage`); -usage-topk 0 disables accounting.
+//
 // Usage:
 //
 //	caladrius [-config caladrius.yaml] [-addr :8642] [-rate 30e6] [-debug-addr localhost:8643]
 //	          [-scrape-interval 5s] [-history-retention 1h] [-history-file caladrius-history.json]
 //	          [-audit-resolve-interval 15s] [-audit-retention 2h] [-audit-file caladrius-audit.json]
 //	          [-incident-dir caladrius-incidents] [-incident-retention 16] [-incident-cooldown 5m]
+//	          [-usage-topk 256] [-usage-window 15m]
 //
 // Then query it, e.g.:
 //
@@ -66,6 +75,7 @@ import (
 	"caladrius/internal/topology"
 	"caladrius/internal/tracker"
 	"caladrius/internal/tsdb"
+	"caladrius/internal/usage"
 	"caladrius/internal/workload"
 )
 
@@ -101,6 +111,8 @@ func run() error {
 	incidentCooldown := flag.Duration("incident-cooldown", 5*time.Minute, "minimum spacing between SLO-triggered captures of the same rule")
 	mutexFraction := flag.Int("mutex-profile-fraction", -1, "sample 1/n mutex contention events for incident mutex profiles; 0 disables, -1 uses the config value")
 	blockRate := flag.Int("block-profile-rate", -1, "sample blocking events of at least this many nanoseconds for incident block profiles; 0 disables, -1 uses the config value")
+	usageTopK := flag.Int("usage-topk", -1, "track at most this many (tenant, topology) usage principals, evicting into an 'other' rollup; 0 disables usage accounting, -1 uses the config value")
+	usageWindow := flag.Duration("usage-window", -1, "trailing window /api/v1/usage ranks principals over; -1 uses the config value")
 	flag.Parse()
 
 	cfg := config.Default()
@@ -128,6 +140,12 @@ func run() error {
 	}
 	if *blockRate >= 0 {
 		cfg.BlockProfileRate = *blockRate
+	}
+	if *usageTopK >= 0 {
+		cfg.UsageTopK = *usageTopK
+	}
+	if *usageWindow >= 0 {
+		cfg.UsageWindow = *usageWindow
 	}
 	// Without these rates the runtime never samples contention, and an
 	// incident bundle's mutex/block profiles come out empty.
@@ -300,6 +318,28 @@ func run() error {
 			"retention", *incidentRetention, "cooldown", *incidentCooldown)
 	}
 
+	// Usage accountant: every request and model run bills a
+	// (tenant, topology) principal, cardinality-capped at topk. The
+	// per-principal caladrius_tenant_* series land in the shared
+	// registry, so the scraper carries them into the history store and
+	// query_range/SLO/dash work on them unchanged.
+	var acct *usage.Accountant
+	var simTicks func() uint64
+	if cfg.UsageTopK > 0 {
+		acct = usage.New(usage.Options{
+			Capacity: cfg.UsageTopK,
+			Window:   cfg.UsageWindow,
+			Registry: reg,
+		})
+		if *metricsFile == "" {
+			// Demo-sim mode: model runs can drive simulator ticks; meter
+			// them per principal off the sim's own tick counter.
+			ticksC := reg.Counter("caladrius_sim_ticks_total", telemetry.Labels{"topology": top.Name()})
+			simTicks = func() uint64 { return uint64(ticksC.Value()) }
+		}
+		logger.Info("usage accounting enabled", "topk", cfg.UsageTopK, "window", cfg.UsageWindow)
+	}
+
 	svc, err := api.NewService(cfg, tr, provider, api.Options{
 		Logger:    logger,
 		Now:       func() time.Time { return asOf },
@@ -309,6 +349,8 @@ func run() error {
 		SLO:       slo,
 		Audit:     ledger,
 		Incidents: recorder,
+		Usage:     acct,
+		SimTicks:  simTicks,
 	})
 	if err != nil {
 		return err

@@ -58,6 +58,7 @@ func accuracyCmd(c *client, args []string) error {
 	fs := flag.NewFlagSet("accuracy", flag.ContinueOnError)
 	topo := fs.String("topology", "", "filter by topology")
 	model := fs.String("model", "", "filter by model kind (predict|plan)")
+	tenant := fs.String("tenant", "", "filter by tenant")
 	limit := fs.Int("limit", 10, "audit records to list")
 	raw := fs.Bool("raw", false, "dump the raw JSON payload instead of the summary")
 	if err := fs.Parse(args); err != nil {
@@ -69,6 +70,9 @@ func accuracyCmd(c *client, args []string) error {
 	}
 	if *model != "" {
 		v.Set("model", *model)
+	}
+	if *tenant != "" {
+		v.Set("tenant", *tenant)
 	}
 	path := "/api/v1/audit?" + v.Encode()
 	if *raw {

@@ -120,25 +120,24 @@ func renderDash(c *client, window, step time.Duration, width int) error {
 		return err
 	}
 	fmt.Println("\nalerts:")
-	if !found {
+	switch {
+	case !found:
 		fmt.Println("  (self-monitoring disabled)")
-		return nil
-	}
-	if len(ar.Alerts) == 0 {
+	case len(ar.Alerts) == 0:
 		fmt.Println("  (no rules configured)")
-		return nil
-	}
-	for _, a := range ar.Alerts {
-		val := "-"
-		if a.Value != nil {
-			val = fmt.Sprintf("%.4g", *a.Value)
+	default:
+		for _, a := range ar.Alerts {
+			val := "-"
+			if a.Value != nil {
+				val = fmt.Sprintf("%.4g", *a.Value)
+			}
+			line := fmt.Sprintf("  %-10s %-24s %s %s %g over %s",
+				strings.ToUpper(a.State), a.Rule, val, a.Op, a.Threshold, a.Window)
+			if a.State == "firing" && a.Since != nil {
+				line += "  since " + a.Since.Format(time.RFC3339)
+			}
+			fmt.Println(line)
 		}
-		line := fmt.Sprintf("  %-10s %-24s %s %s %g over %s",
-			strings.ToUpper(a.State), a.Rule, val, a.Op, a.Threshold, a.Window)
-		if a.State == "firing" && a.Since != nil {
-			line += "  since " + a.Since.Format(time.RFC3339)
-		}
-		fmt.Println(line)
 	}
 
 	var il incidentList
@@ -150,22 +149,46 @@ func renderDash(c *client, window, step time.Duration, width int) error {
 		fmt.Println("\nincidents:")
 		if il.Count == 0 {
 			fmt.Println("  (none captured)")
-			return nil
-		}
-		// Newest first; keep the dashboard to the three most recent.
-		shown := il.Incidents
-		if len(shown) > 3 {
-			shown = shown[:3]
-		}
-		for _, m := range shown {
-			rule := m.Rule
-			if rule == "" {
-				rule = m.Trigger
+		} else {
+			// Newest first; keep the dashboard to the three most recent.
+			shown := il.Incidents
+			if len(shown) > 3 {
+				shown = shown[:3]
 			}
-			fmt.Printf("  %-28s %-24s %s\n", m.ID, rule, m.CapturedAt.Format(time.RFC3339))
+			for _, m := range shown {
+				rule := m.Rule
+				if rule == "" {
+					rule = m.Trigger
+				}
+				fmt.Printf("  %-28s %-24s %s\n", m.ID, rule, m.CapturedAt.Format(time.RFC3339))
+			}
+			if il.Count > len(shown) {
+				fmt.Printf("  (%d more — calctl incidents)\n", il.Count-len(shown))
+			}
 		}
-		if il.Count > len(shown) {
-			fmt.Printf("  (%d more — calctl incidents)\n", il.Count-len(shown))
+	}
+
+	// Top principals by request volume over the server's usage window.
+	// Older daemons and -usage-topk 0 answer 404 here; omit the panel.
+	var ur usageResponse
+	found, err = c.getDecodeOpt("/api/v1/usage?by=requests&n=3", &ur)
+	if err != nil {
+		return err
+	}
+	if found {
+		fmt.Println("\ntop tenants (by requests):")
+		if len(ur.Top) == 0 {
+			fmt.Println("  (no usage recorded)")
+		} else {
+			for _, p := range ur.Top {
+				tenant := p.Tenant
+				if p.Rollup {
+					tenant = "(other)"
+				}
+				fmt.Printf("  %-16s %-14s %6d reqs  %8.1f cpu_ms  %s\n",
+					tenant, p.Topology, p.Window.Requests,
+					float64(p.Window.CPUNS)/1e6, fmtBytes(p.Window.AllocBytes))
+			}
 		}
 	}
 	return nil

@@ -20,11 +20,13 @@
 //	dash [flags]                         live terminal dashboard from the history endpoints
 //	accuracy [flags]                     model accuracy summary from the prediction audit ledger
 //	incidents [list|show <id>|capture]   browse incident flight-recorder bundles
+//	usage [flags]                        top (tenant, topology) principals by resource use
 //
 // traffic flags:  -source-minutes N -horizon-minutes N -model NAME -sync
 // perf flags:     -rate TPM -p comp=N[,comp=N...] -forecast -sync
 // dash flags:     -interval 2s -window 5m -step 10s -iterations N -no-clear -width 60
-// accuracy flags: -topology NAME -model predict|plan -limit N -raw
+// accuracy flags: -topology NAME -model predict|plan -tenant NAME -limit N -raw
+// usage flags:    -by requests|errors|wall|cpu|allocs|ticks|runs -n N -raw
 package main
 
 import (
@@ -102,6 +104,8 @@ func run(args []string) error {
 		return accuracyCmd(c, rest[1:])
 	case "incidents":
 		return incidentsCmd(c, rest[1:])
+	case "usage":
+		return usageCmd(c, rest[1:])
 	default:
 		return fmt.Errorf("unknown command %q", rest[0])
 	}

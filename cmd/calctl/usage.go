@@ -1,0 +1,107 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/url"
+	"strconv"
+	"time"
+)
+
+// The usage command ranks the (tenant, topology) principals the
+// service attributed its traffic and model runs to, over the server's
+// trailing usage window. Like dash and accuracy, it reads the wire
+// format directly rather than importing internal packages, and it
+// degrades gracefully (clear message, exit 0) against older daemons
+// or ones started with -usage-topk 0, where /api/v1/usage 404s.
+
+type usageTotals struct {
+	Requests   uint64 `json:"requests"`
+	Errors     uint64 `json:"errors"`
+	LatencyNS  uint64 `json:"latency_ns"`
+	Runs       uint64 `json:"runs"`
+	WallNS     uint64 `json:"wall_ns"`
+	CPUNS      uint64 `json:"cpu_ns"`
+	AllocBytes uint64 `json:"alloc_bytes"`
+	SimTicks   uint64 `json:"sim_ticks"`
+}
+
+type usagePrincipal struct {
+	Tenant   string      `json:"tenant"`
+	Topology string      `json:"topology"`
+	Rollup   bool        `json:"rollup"`
+	InFlight int64       `json:"in_flight"`
+	Totals   usageTotals `json:"totals"`
+	Window   usageTotals `json:"window"`
+}
+
+type usageResponse struct {
+	WindowSeconds float64          `json:"window_seconds"`
+	Capacity      int              `json:"capacity"`
+	Principals    int              `json:"principals"`
+	Evictions     uint64           `json:"evictions"`
+	By            string           `json:"by"`
+	Top           []usagePrincipal `json:"top"`
+}
+
+func usageCmd(c *client, args []string) error {
+	fs := flag.NewFlagSet("usage", flag.ContinueOnError)
+	by := fs.String("by", "requests", "ranking key: requests|errors|wall|cpu|allocs|ticks|runs")
+	n := fs.Int("n", 10, "principals to list")
+	raw := fs.Bool("raw", false, "dump the raw JSON payload instead of the table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	v := url.Values{"by": {*by}, "n": {strconv.Itoa(*n)}}
+	path := "/api/v1/usage?" + v.Encode()
+	if *raw {
+		return c.getJSON(path)
+	}
+	var resp usageResponse
+	found, err := c.getDecodeOpt(path, &resp)
+	if err != nil {
+		return err
+	}
+	if !found {
+		fmt.Println("usage accounting disabled on server (start caladrius with -usage-topk > 0)")
+		return nil
+	}
+	fmt.Printf("usage over the last %s (ranked by %s; %d/%d principals live, %d evicted into other)\n",
+		time.Duration(resp.WindowSeconds*float64(time.Second)), resp.By,
+		resp.Principals, resp.Capacity, resp.Evictions)
+	if len(resp.Top) == 0 {
+		fmt.Println("no usage recorded yet")
+		return nil
+	}
+	fmt.Printf("%-16s %-14s %-8s %-7s %-9s %-6s %-9s %-10s %s\n",
+		"tenant", "topology", "reqs", "errs", "mean_ms", "runs", "cpu_ms", "allocs", "ticks")
+	for _, p := range resp.Top {
+		meanMs := "-"
+		if p.Window.Requests > 0 {
+			meanMs = fmt.Sprintf("%.3f", float64(p.Window.LatencyNS)/float64(p.Window.Requests)/1e6)
+		}
+		tenant := p.Tenant
+		if p.Rollup {
+			tenant = "(other)"
+		}
+		fmt.Printf("%-16s %-14s %-8d %-7d %-9s %-6d %-9.3f %-10s %d\n",
+			tenant, p.Topology, p.Window.Requests, p.Window.Errors, meanMs,
+			p.Window.Runs, float64(p.Window.CPUNS)/1e6,
+			fmtBytes(p.Window.AllocBytes), p.Window.SimTicks)
+	}
+	return nil
+}
+
+// fmtBytes renders a byte count with a binary unit suffix.
+func fmtBytes(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	default:
+		return strconv.FormatUint(b, 10) + "B"
+	}
+}

@@ -26,6 +26,7 @@
 //	GET  /api/v1/incidents/{id}                           one incident manifest
 //	GET  /api/v1/incidents/{id}/artifacts/{name}          download an incident artifact
 //	POST /api/v1/incidents/capture                        capture an incident bundle now
+//	GET  /api/v1/usage                                    per-tenant usage accounting (see usage.go)
 package api
 
 import (
@@ -52,6 +53,7 @@ import (
 	"caladrius/internal/telemetry"
 	"caladrius/internal/tracker"
 	"caladrius/internal/tsdb"
+	"caladrius/internal/usage"
 )
 
 // Service wires the model tier to its helpers: the topology metadata
@@ -71,6 +73,8 @@ type Service struct {
 	slo         *telemetry.SLO
 	audit       *audit.Ledger
 	incidents   *incident.Recorder
+	usage       *usage.Accountant
+	sampler     *core.CostSampler
 	httpInst    *httpInstruments
 	jobsRunning *telemetry.Gauge
 	jobsDone    *telemetry.Counter
@@ -113,6 +117,14 @@ type Options struct {
 	// Incidents is the flight recorder whose bundles the incidents
 	// endpoints serve. Nil leaves /api/v1/incidents answering 404.
 	Incidents *incident.Recorder
+	// Usage is the per-(tenant, topology) accountant every request and
+	// model run is attributed to. Nil disables attribution and leaves
+	// /api/v1/usage answering 404.
+	Usage *usage.Accountant
+	// SimTicks optionally supplies a monotonic simulator-tick total so
+	// model-run costs include the ticks they drove (the demo sim's
+	// caladrius_sim_ticks_total). Only read when Usage is set.
+	SimTicks func() uint64
 }
 
 // New builds a service. logger and now are optional; telemetry is
@@ -144,6 +156,10 @@ func NewService(cfg config.Config, tr *tracker.Tracker, provider metrics.Provide
 	reg := opts.Telemetry
 	reg.SetHelp("caladrius_jobs_running", "Asynchronous modelling jobs currently executing.")
 	reg.SetHelp("caladrius_jobs_completed_total", "Finished asynchronous jobs, by outcome.")
+	var sampler *core.CostSampler
+	if opts.Usage != nil {
+		sampler = &core.CostSampler{Ticks: opts.SimTicks}
+	}
 	return &Service{
 		cfg:         cfg,
 		tracker:     tr,
@@ -158,6 +174,8 @@ func NewService(cfg config.Config, tr *tracker.Tracker, provider metrics.Provide
 		slo:         opts.SLO,
 		audit:       opts.Audit,
 		incidents:   opts.Incidents,
+		usage:       opts.Usage,
+		sampler:     sampler,
 		httpInst:    newHTTPInstruments(reg),
 		jobsRunning: reg.Gauge("caladrius_jobs_running", nil),
 		jobsDone:    reg.Counter("caladrius_jobs_completed_total", telemetry.Labels{"outcome": "done"}),
@@ -192,7 +210,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/api/v1/audit/", s.handleAuditRecord)
 	mux.HandleFunc("/api/v1/incidents", s.handleIncidentsList)
 	mux.HandleFunc("/api/v1/incidents/", s.handleIncident)
-	return instrument(mux, s.httpInst, s.logger)
+	mux.HandleFunc("/api/v1/usage", s.handleUsage)
+	return instrument(mux, s.httpInst, s.logger, s.usage)
 }
 
 // --- request/response types ---------------------------------------------
@@ -449,10 +468,12 @@ const TraceHeader = "X-Caladrius-Trace"
 // response header), so the header, the access-log line and the span
 // tree of one request share a single id.
 func (s *Service) dispatch(w http.ResponseWriter, r *http.Request, op string, fn func(context.Context) (any, error)) {
+	tenant := RequestTenant(r.Context())
 	if r.URL.Query().Get("sync") == "true" {
 		root := s.tracer.Start(RequestTraceID(r.Context()), op)
 		root.SetAttr("path", r.URL.Path)
 		root.SetAttr("mode", "sync")
+		root.SetAttr("tenant", tenant)
 		result, err := fn(telemetry.ContextWithSpan(r.Context(), root))
 		if err != nil {
 			root.SetAttr("error", err.Error())
@@ -471,9 +492,11 @@ func (s *Service) dispatch(w http.ResponseWriter, r *http.Request, op string, fn
 	root := s.tracer.Start(job.ID, op)
 	root.SetAttr("path", r.URL.Path)
 	root.SetAttr("mode", "async")
+	root.SetAttr("tenant", tenant)
 	// The request context dies with the response; the job traces under
-	// a fresh one.
-	ctx := telemetry.ContextWithSpan(context.Background(), root)
+	// a fresh one. The tenant rides along so the run's cost still bills
+	// the requester, not anonymous.
+	ctx := telemetry.ContextWithSpan(ContextWithTenant(context.Background(), tenant), root)
 	s.jobsRunning.Inc()
 	s.jobs.run(job.ID, func() (any, error) {
 		defer s.jobsRunning.Dec()
@@ -616,8 +639,9 @@ func (s *Service) runPerformance(ctx context.Context, topoName string, req Perfo
 	// at its currently observed rate.
 	counterfactual := len(req.Parallelism) > 0 || req.SourceRateTPM != 0 || req.UseForecast
 	_, psp := telemetry.StartSpan(ctx, "predict")
-	pred, err := tm.PredictRecorded(s.auditRecorder(ctx, topoName, "predict", counterfactual), req.Parallelism, rate)
+	pred, cost, err := tm.PredictMeasured(s.auditRecorder(ctx, topoName, "predict", counterfactual), s.sampler, req.Parallelism, rate)
 	psp.End()
+	s.chargeRun(ctx, topoName, cost)
 	if err != nil {
 		return nil, err
 	}
@@ -657,6 +681,11 @@ func (s *Service) topologyModel(ctx context.Context, topoName string, asOf time.
 	}
 	s.mu.Unlock()
 	sp.SetAttr("cache", "miss")
+	// A cache miss performs a full recalibration — usually the most
+	// expensive run a request triggers, so it is metered and charged to
+	// the requesting principal like any predict/plan run.
+	mark := s.sampler.Begin()
+	defer func() { s.chargeRun(ctx, topoName, s.sampler.End(mark)) }()
 
 	if asOf.IsZero() {
 		asOf = s.now()
@@ -762,8 +791,9 @@ func (s *Service) runSuggest(ctx context.Context, topoName string, req SuggestRe
 	}
 	// Plans evaluate a hypothetical parallelism — always counterfactual.
 	_, prSp := telemetry.StartSpan(ctx, "predict")
-	pred, err := tm.PredictRecorded(s.auditRecorder(ctx, topoName, "plan", true), plan, rate)
+	pred, cost, err := tm.PredictMeasured(s.auditRecorder(ctx, topoName, "plan", true), s.sampler, plan, rate)
 	prSp.End()
+	s.chargeRun(ctx, topoName, cost)
 	if err != nil {
 		return nil, err
 	}

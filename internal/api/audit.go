@@ -26,6 +26,7 @@ type ledgerRecorder struct {
 	topology       string
 	model          string
 	traceID        string
+	tenant         string
 	counterfactual bool
 }
 
@@ -40,10 +41,17 @@ func (r ledgerRecorder) RecordRun(run core.ModelRun) {
 	if len(cp.Path) > 0 {
 		sink = cp.Path[len(cp.Path)-1]
 	}
+	var cost *core.RunCost
+	if run.Cost != (core.RunCost{}) {
+		c := run.Cost
+		cost = &c
+	}
 	r.led.Record(audit.Record{
 		Topology:       r.topology,
 		Model:          r.model,
 		TraceID:        r.traceID,
+		Tenant:         r.tenant,
+		Cost:           cost,
 		SourceRateTPM:  run.SourceRate,
 		Parallelism:    run.Parallelism,
 		Counterfactual: r.counterfactual,
@@ -72,6 +80,7 @@ func (s *Service) auditRecorder(ctx context.Context, topology, model string, cou
 		topology:       topology,
 		model:          model,
 		traceID:        telemetry.SpanFromContext(ctx).TraceID(),
+		tenant:         RequestTenant(ctx),
 		counterfactual: counterfactual,
 	}
 }
@@ -100,9 +109,22 @@ func (s *Service) handleAuditList(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	q := r.URL.Query()
+	// Unknown parameters are rejected, not silently ignored — a typoed
+	// filter (tennant=acme) would otherwise return unfiltered records
+	// that look filtered.
+	for k := range q {
+		switch k {
+		case "topology", "model", "tenant", "resolved", "since", "until", "limit":
+		default:
+			httpError(w, http.StatusBadRequest, "unknown query parameter "+strconv.Quote(k)+
+				" (want topology, model, tenant, resolved, since, until, limit)")
+			return
+		}
+	}
 	f := audit.Filter{
 		Topology: q.Get("topology"),
 		Model:    q.Get("model"),
+		Tenant:   q.Get("tenant"),
 	}
 	if v := q.Get("resolved"); v != "" {
 		b, err := strconv.ParseBool(v)

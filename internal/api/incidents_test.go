@@ -182,8 +182,8 @@ func TestIncidentTraceHeaderPropagation(t *testing.T) {
 	}
 
 	for header, want := range map[string]string{
-		"client-trace-42": "client-trace-42", // well-formed: echoed
-		"bad id!{}":       "",                // hostile: replaced with req-N
+		"client-trace-42":        "client-trace-42", // well-formed: echoed
+		"bad id!{}":              "",                // hostile: replaced with req-N
 		strings.Repeat("x", 100): "",
 	} {
 		r, err := http.NewRequest(http.MethodGet, srv.URL+"/api/v1/health", nil)

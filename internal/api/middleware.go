@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"caladrius/internal/telemetry"
+	"caladrius/internal/usage"
 )
 
 // Route patterns the middleware aggregates metrics under. Raw paths
@@ -18,18 +19,18 @@ import (
 // cardinality bounded no matter how many topologies the service
 // models.
 const (
-	routeHealth      = "/api/v1/health"
-	routeModels      = "/api/v1/models/traffic"
-	routeTraffic     = "/api/v1/model/traffic/{topology}"
-	routeRank        = "/api/v1/model/traffic/{topology}/rank"
-	routePerformance = "/api/v1/model/topology/{topology}/performance"
-	routeSuggest     = "/api/v1/model/topology/{topology}/suggest"
-	routeCalibrate   = "/api/v1/model/topology/{topology}/calibrate"
-	routeModel       = "/api/v1/model/topology/{topology}/model"
-	routeGraph       = "/api/v1/model/topology/{topology}/graph"
-	routeQuery       = "/api/v1/model/topology/{topology}/query"
-	routeJob         = "/api/v1/jobs/{id}"
-	routeJobTrace    = "/api/v1/jobs/{id}/trace"
+	routeHealth           = "/api/v1/health"
+	routeModels           = "/api/v1/models/traffic"
+	routeTraffic          = "/api/v1/model/traffic/{topology}"
+	routeRank             = "/api/v1/model/traffic/{topology}/rank"
+	routePerformance      = "/api/v1/model/topology/{topology}/performance"
+	routeSuggest          = "/api/v1/model/topology/{topology}/suggest"
+	routeCalibrate        = "/api/v1/model/topology/{topology}/calibrate"
+	routeModel            = "/api/v1/model/topology/{topology}/model"
+	routeGraph            = "/api/v1/model/topology/{topology}/graph"
+	routeQuery            = "/api/v1/model/topology/{topology}/query"
+	routeJob              = "/api/v1/jobs/{id}"
+	routeJobTrace         = "/api/v1/jobs/{id}/trace"
 	routeQueryRange       = "/api/v1/query_range"
 	routeAlerts           = "/api/v1/alerts"
 	routeAudit            = "/api/v1/audit"
@@ -38,6 +39,7 @@ const (
 	routeIncidentCapture  = "/api/v1/incidents/capture"
 	routeIncident         = "/api/v1/incidents/{id}"
 	routeIncidentArtifact = "/api/v1/incidents/{id}/artifacts/{name}"
+	routeUsage            = "/api/v1/usage"
 	routeOther            = "other"
 )
 
@@ -47,92 +49,108 @@ var allRoutes = []string{
 	routeGraph, routeQuery, routeJob, routeJobTrace,
 	routeQueryRange, routeAlerts, routeAudit, routeAuditRecord,
 	routeIncidents, routeIncidentCapture, routeIncident, routeIncidentArtifact,
-	routeOther,
+	routeUsage, routeOther,
 }
+
+// NoTopology is the topology value usage attribution charges requests
+// that do not address a specific topology (health, query_range, …).
+const NoTopology = "-"
 
 // routePattern maps a concrete request path to its route pattern
 // without allocating.
 func routePattern(path string) string {
+	pattern, _ := routeInfo(path)
+	return pattern
+}
+
+// routeInfo maps a concrete request path to its route pattern and the
+// topology name it addresses (NoTopology for topology-less routes),
+// without allocating. The topology half is what scopes a request's
+// usage principal: only routes that carry a {topology} segment can be
+// attributed finer than the tenant itself.
+func routeInfo(path string) (pattern, topology string) {
 	switch path {
 	case routeHealth:
-		return routeHealth
+		return routeHealth, NoTopology
 	case routeModels:
-		return routeModels
+		return routeModels, NoTopology
 	case routeQueryRange:
-		return routeQueryRange
+		return routeQueryRange, NoTopology
 	case routeAlerts:
-		return routeAlerts
+		return routeAlerts, NoTopology
 	case routeAudit:
-		return routeAudit
+		return routeAudit, NoTopology
 	case routeIncidents:
-		return routeIncidents
+		return routeIncidents, NoTopology
 	case routeIncidentCapture:
-		return routeIncidentCapture
+		return routeIncidentCapture, NoTopology
+	case routeUsage:
+		return routeUsage, NoTopology
 	}
 	if rest, ok := strings.CutPrefix(path, "/api/v1/incidents/"); ok {
 		id, sub, hasSub := strings.Cut(rest, "/")
 		switch {
 		case id == "":
-			return routeOther
+			return routeOther, NoTopology
 		case !hasSub:
-			return routeIncident
+			return routeIncident, NoTopology
 		}
 		if name, ok := strings.CutPrefix(sub, "artifacts/"); ok && name != "" && !strings.Contains(name, "/") {
-			return routeIncidentArtifact
+			return routeIncidentArtifact, NoTopology
 		}
-		return routeOther
+		return routeOther, NoTopology
 	}
 	if rest, ok := strings.CutPrefix(path, "/api/v1/audit/"); ok {
 		if rest != "" && !strings.Contains(rest, "/") {
-			return routeAuditRecord
+			return routeAuditRecord, NoTopology
 		}
-		return routeOther
+		return routeOther, NoTopology
 	}
 	if rest, ok := strings.CutPrefix(path, "/api/v1/model/traffic/"); ok {
 		name, action, hasAction := strings.Cut(rest, "/")
 		switch {
 		case name == "":
-			return routeOther
+			return routeOther, NoTopology
 		case !hasAction:
-			return routeTraffic
+			return routeTraffic, name
 		case action == "rank":
-			return routeRank
+			return routeRank, name
 		}
-		return routeOther
+		return routeOther, NoTopology
 	}
 	if rest, ok := strings.CutPrefix(path, "/api/v1/model/topology/"); ok {
 		name, action, _ := strings.Cut(rest, "/")
 		if name == "" {
-			return routeOther
+			return routeOther, NoTopology
 		}
 		switch action {
 		case "performance":
-			return routePerformance
+			return routePerformance, name
 		case "suggest":
-			return routeSuggest
+			return routeSuggest, name
 		case "calibrate":
-			return routeCalibrate
+			return routeCalibrate, name
 		case "model":
-			return routeModel
+			return routeModel, name
 		case "graph":
-			return routeGraph
+			return routeGraph, name
 		case "query":
-			return routeQuery
+			return routeQuery, name
 		}
-		return routeOther
+		return routeOther, NoTopology
 	}
 	if rest, ok := strings.CutPrefix(path, "/api/v1/jobs/"); ok {
 		id, sub, hasSub := strings.Cut(rest, "/")
 		switch {
 		case id == "":
-			return routeOther
+			return routeOther, NoTopology
 		case !hasSub:
-			return routeJob
+			return routeJob, NoTopology
 		case sub == "trace":
-			return routeJobTrace
+			return routeJobTrace, NoTopology
 		}
 	}
-	return routeOther
+	return routeOther, NoTopology
 }
 
 // --- request trace ids -----------------------------------------------------
@@ -174,6 +192,55 @@ func sanitizeTraceID(id string) string {
 		}
 	}
 	return id
+}
+
+// --- tenants ---------------------------------------------------------------
+
+// TenantHeader names the header clients identify themselves with.
+// Requests without it (or with a malformed value) are charged to
+// AnonymousTenant — attribution never rejects a request.
+const TenantHeader = "X-Caladrius-Tenant"
+
+// AnonymousTenant is the principal unidentified requests bill to.
+const AnonymousTenant = "anonymous"
+
+type reqTenantKey struct{}
+
+// RequestTenant returns the sanitized tenant the middleware attributed
+// the request to, or AnonymousTenant when the request did not pass
+// through instrument (direct handler tests, async job contexts built
+// before the tenant was re-injected).
+func RequestTenant(ctx context.Context) string {
+	if t, _ := ctx.Value(reqTenantKey{}).(string); t != "" {
+		return t
+	}
+	return AnonymousTenant
+}
+
+// ContextWithTenant stamps a tenant onto ctx — the hook dispatch uses
+// to carry the request's tenant into an async job's fresh context.
+func ContextWithTenant(ctx context.Context, tenant string) context.Context {
+	return context.WithValue(ctx, reqTenantKey{}, tenant)
+}
+
+// sanitizeTenant accepts a client-supplied tenant only when it is
+// short and token-shaped (same alphabet as trace ids), so tenants are
+// safe as metric label values and log fields. Anything else — empty,
+// oversized, binary — bills as anonymous.
+func sanitizeTenant(t string) string {
+	if t == "" || len(t) > 64 {
+		return AnonymousTenant
+	}
+	for i := 0; i < len(t); i++ {
+		c := t[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.' || c == ':':
+		default:
+			return AnonymousTenant
+		}
+	}
+	return t
 }
 
 // statusClasses index requests_total counters: status/100-1.
@@ -252,7 +319,12 @@ func (r *statusRecorder) Write(p []byte) (int, error) {
 // recovered here — the client gets a JSON 500 (when the header is
 // still unsent), the stack goes to the logger, and the request still
 // lands in every instrument so panic spikes show up in the history.
-func instrument(next http.Handler, inst *httpInstruments, logger *slog.Logger) http.Handler {
+//
+// When acct is non-nil every request is additionally attributed to its
+// (tenant, topology) usage principal: tenant from the sanitized
+// X-Caladrius-Tenant header, topology from the route. The accountant's
+// top-K cap makes this safe against hostile high-cardinality headers.
+func instrument(next http.Handler, inst *httpInstruments, logger *slog.Logger, acct *usage.Accountant) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		inst.inFlight.Inc()
@@ -261,7 +333,13 @@ func instrument(next http.Handler, inst *httpInstruments, logger *slog.Logger) h
 			trace = "req-" + strconv.FormatUint(traceSeq.Add(1), 10)
 		}
 		w.Header().Set(TraceHeader, trace)
-		r = r.WithContext(context.WithValue(r.Context(), reqTraceKey{}, trace))
+		tenant := sanitizeTenant(r.Header.Get(TenantHeader))
+		_, topo := routeInfo(r.URL.Path)
+		if acct != nil {
+			acct.Begin(tenant, topo)
+		}
+		ctx := context.WithValue(r.Context(), reqTraceKey{}, trace)
+		r = r.WithContext(ContextWithTenant(ctx, tenant))
 		rec := statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		defer func() {
 			if v := recover(); v != nil {
@@ -296,6 +374,9 @@ func instrument(next http.Handler, inst *httpInstruments, logger *slog.Logger) h
 			ri.requests[idx].Inc()
 			ri.latency.ObserveExemplar(elapsed.Seconds(), trace)
 			ri.bytes.Add(float64(rec.bytes))
+			if acct != nil {
+				acct.Finish(tenant, topo, rec.status, elapsed)
+			}
 			logger.Info("http request",
 				"method", r.Method,
 				"route", route,
@@ -304,6 +385,7 @@ func instrument(next http.Handler, inst *httpInstruments, logger *slog.Logger) h
 				"bytes", rec.bytes,
 				"duration_ms", float64(elapsed)/float64(time.Millisecond),
 				"trace", trace,
+				"tenant", tenant,
 			)
 		}()
 		next.ServeHTTP(&rec, r)

@@ -30,7 +30,7 @@ func TestPanicRecovery(t *testing.T) {
 		_, _ = w.Write([]byte(`{"partial":`))
 		panic("boom mid-body")
 	})
-	srv := httptest.NewServer(instrument(mux, inst, logger))
+	srv := httptest.NewServer(instrument(mux, inst, logger, nil))
 	defer srv.Close()
 
 	// Panic before any write: the client sees a proper JSON 500.

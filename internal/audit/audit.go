@@ -113,6 +113,10 @@ type Record struct {
 	Model     string    `json:"model"` // "predict" or "plan"
 	TraceID   string    `json:"trace_id,omitempty"`
 	CreatedAt time.Time `json:"created_at"`
+	// Tenant is the usage principal the run was attributed to (the
+	// sanitized X-Caladrius-Tenant header), so incident bundles and
+	// calctl accuracy can be sliced per tenant.
+	Tenant string `json:"tenant,omitempty"`
 
 	// SourceRateTPM and Parallelism are the model inputs.
 	SourceRateTPM float64        `json:"source_rate_tpm"`
@@ -131,6 +135,10 @@ type Record struct {
 	// Calibration is the α/SP/ST/ψ snapshot the run was computed from
 	// (shared across records of one calibration — do not mutate).
 	Calibration []core.ComponentCalibration `json:"calibration,omitempty"`
+
+	// Cost is the run's measured resource footprint; nil when the run
+	// was not metered.
+	Cost *core.RunCost `json:"cost,omitempty"`
 
 	Predicted Predicted `json:"predicted"`
 
@@ -397,6 +405,7 @@ func (l *Ledger) getLocked(id int64) (Record, int, bool) {
 type Filter struct {
 	Topology string
 	Model    string
+	Tenant   string
 	// Resolved filters by resolution state when non-nil.
 	Resolved *bool
 	// Since/Until bound CreatedAt (inclusive since, exclusive until).
@@ -419,6 +428,9 @@ func (l *Ledger) List(f Filter) []Record {
 			continue
 		}
 		if f.Model != "" && rec.Model != f.Model {
+			continue
+		}
+		if f.Tenant != "" && rec.Tenant != f.Tenant {
 			continue
 		}
 		if f.Resolved != nil && rec.Resolved != *f.Resolved {

@@ -25,6 +25,9 @@
 //	profiling:
 //	  mutex_fraction: 100
 //	  block_rate_ns: 10000
+//	usage:
+//	  topk: 256
+//	  window_seconds: 900
 package config
 
 import (
@@ -75,6 +78,14 @@ type Config struct {
 	// sampled (0 disables sampling and leaves incident block profiles
 	// empty).
 	BlockProfileRate int
+	// UsageTopK is the usage accountant's live-principal cap K: at most
+	// this many (tenant, topology) principals are tracked individually;
+	// the rest roll into the "other" bucket. 0 disables usage
+	// accounting entirely.
+	UsageTopK int
+	// UsageWindow is the trailing window /api/v1/usage ranks principals
+	// over.
+	UsageWindow time.Duration
 }
 
 // Default returns the configuration used when no file is given.
@@ -94,6 +105,8 @@ func Default() Config {
 		// contention profiles non-empty.
 		MutexProfileFraction: 100,
 		BlockProfileRate:     10000,
+		UsageTopK:            256,
+		UsageWindow:          15 * time.Minute,
 	}
 }
 
@@ -204,6 +217,21 @@ func Parse(src string) (Config, error) {
 		}
 	}
 
+	if u, ok, err := section(doc, "usage"); err != nil {
+		return Config{}, err
+	} else if ok {
+		if v, ok, err := floatKey(u, "topk"); err != nil {
+			return Config{}, err
+		} else if ok {
+			cfg.UsageTopK = int(v)
+		}
+		if v, ok, err := floatKey(u, "window_seconds"); err != nil {
+			return Config{}, err
+		} else if ok {
+			cfg.UsageWindow = time.Duration(v * float64(time.Second))
+		}
+	}
+
 	if c, ok, err := section(doc, "calibration"); err != nil {
 		return Config{}, err
 	} else if ok {
@@ -256,6 +284,12 @@ func (c Config) Validate() error {
 	}
 	if c.BlockProfileRate < 0 {
 		return fmt.Errorf("config: negative block profile rate %d", c.BlockProfileRate)
+	}
+	if c.UsageTopK < 0 {
+		return fmt.Errorf("config: negative usage topk %d", c.UsageTopK)
+	}
+	if c.UsageWindow <= 0 {
+		return fmt.Errorf("config: non-positive usage window %s", c.UsageWindow)
 	}
 	return nil
 }

@@ -38,6 +38,9 @@ calibration:
 profiling:
   mutex_fraction: 50
   block_rate_ns: 5000
+usage:
+  topk: 64
+  window_seconds: 300
 `
 	cfg, err := Parse(src)
 	if err != nil {
@@ -66,6 +69,21 @@ profiling:
 	}
 	if cfg.MutexProfileFraction != 50 || cfg.BlockProfileRate != 5000 {
 		t.Errorf("profiling = %+v", cfg)
+	}
+	if cfg.UsageTopK != 64 || cfg.UsageWindow != 5*time.Minute {
+		t.Errorf("usage = %+v", cfg)
+	}
+}
+
+// UsageTopK 0 is a valid way to disable accounting; negatives and a
+// dead window are not.
+func TestParseUsageSection(t *testing.T) {
+	cfg, err := Parse("usage:\n  topk: 0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.UsageTopK != 0 || cfg.UsageWindow != Default().UsageWindow {
+		t.Errorf("usage = %+v", cfg)
 	}
 }
 
@@ -103,6 +121,8 @@ func TestParseErrors(t *testing.T) {
 		{"api:\n  addr: ''", "empty api addr"},
 		{"profiling:\n  mutex_fraction: -1", "mutex profile fraction"},
 		{"profiling:\n  block_rate_ns: -1", "block profile rate"},
+		{"usage:\n  topk: -1", "usage topk"},
+		{"usage:\n  window_seconds: 0", "usage window"},
 	}
 	for _, c := range cases {
 		_, err := Parse(c.src)

@@ -1,0 +1,23 @@
+//go:build linux
+
+package core
+
+import (
+	"syscall"
+	"unsafe"
+)
+
+// clockThreadCPUTimeID is CLOCK_THREAD_CPUTIME_ID: CPU time consumed
+// by the calling thread only. Valid between LockOSThread/UnlockOSThread,
+// which CostSampler guarantees.
+const clockThreadCPUTimeID = 3
+
+// threadCPUNanos returns the calling OS thread's consumed CPU time.
+func threadCPUNanos() int64 {
+	var ts syscall.Timespec
+	if _, _, errno := syscall.Syscall(syscall.SYS_CLOCK_GETTIME,
+		clockThreadCPUTimeID, uintptr(unsafe.Pointer(&ts)), 0); errno != 0 {
+		return 0
+	}
+	return ts.Nano()
+}

@@ -1,0 +1,8 @@
+//go:build !linux
+
+package core
+
+// threadCPUNanos has no portable implementation; platforms without a
+// per-thread CPU clock report zero and RunCost.CPUNanos stays 0 (wall
+// time and allocation deltas still meter).
+func threadCPUNanos() int64 { return 0 }

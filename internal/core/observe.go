@@ -41,6 +41,9 @@ type ModelRun struct {
 	// Degraded is true when the model behind the run was calibrated in
 	// degraded mode (widened or sparse observe window).
 	Degraded bool
+	// Cost is the run's measured resource footprint (zero when the run
+	// was not metered — see PredictMeasured).
+	Cost RunCost
 }
 
 // RunRecorder receives completed model runs — the audit-ledger hook.
@@ -78,16 +81,7 @@ func (tm *TopologyModel) CalibrationSnapshot() []ComponentCalibration {
 // completed run (nil rec behaves exactly like Predict). Failed
 // evaluations are not recorded — there is no prediction to audit.
 func (tm *TopologyModel) PredictRecorded(rec RunRecorder, parallelisms map[string]int, sourceRate float64) (TopologyPrediction, error) {
-	pred, err := tm.Predict(parallelisms, sourceRate)
-	if err == nil && rec != nil {
-		rec.RecordRun(ModelRun{
-			Parallelism: parallelisms,
-			SourceRate:  sourceRate,
-			Prediction:  pred,
-			Calibration: tm.CalibrationSnapshot(),
-			Degraded:    tm.Degraded,
-		})
-	}
+	pred, _, err := tm.PredictMeasured(rec, nil, parallelisms, sourceRate)
 	return pred, err
 }
 

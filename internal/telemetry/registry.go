@@ -122,6 +122,26 @@ func (h *Histogram) ObserveExemplar(v float64, trace string) {
 // Exemplar returns the latest exemplar, or nil when none was recorded.
 func (h *Histogram) Exemplar() *Exemplar { return h.exemplar.Load() }
 
+// Merge folds src's observations into h: per-bucket counts, sum and
+// count. Both histograms must share a bucket layout (they do when
+// registered under one name); mismatched layouts are ignored. Used by
+// the usage accountant to roll an evicted principal's latency history
+// into the sticky "other" bucket. src should be quiescent — a series
+// being observed concurrently merges a near-consistent snapshot, which
+// is the usual histogram-scrape guarantee.
+func (h *Histogram) Merge(src *Histogram) {
+	if src == nil || len(src.counts) != len(h.counts) {
+		return
+	}
+	for i := range src.counts {
+		if n := src.counts[i].Load(); n > 0 {
+			h.counts[i].Add(n)
+		}
+	}
+	h.sum.Add(src.sum.Load())
+	h.count.Add(src.count.Load())
+}
+
 // Sum returns the total of all observed values.
 func (h *Histogram) Sum() float64 { return h.sum.Load() }
 
@@ -219,6 +239,27 @@ func (r *Registry) Counter(name string, labels Labels) *Counter {
 // Gauge registers (or fetches) the gauge for name+labels.
 func (r *Registry) Gauge(name string, labels Labels) *Gauge {
 	return r.register(name, kindGauge, nil, labels).(*Gauge)
+}
+
+// Unregister removes the series for name+labels, so bounded-
+// cardinality layers (the usage accountant's top-K eviction) can keep
+// the registry from growing with principal churn. The instrument
+// object stays valid for holders — updates to it are simply no longer
+// exported. Reports whether a series was removed. The family and its
+// help text stay registered.
+func (r *Registry) Unregister(name string, labels Labels) bool {
+	sig := labelSig(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		return false
+	}
+	if _, ok := f.series[sig]; !ok {
+		return false
+	}
+	delete(f.series, sig)
+	return true
 }
 
 // Histogram registers (or fetches) the histogram for name+labels with

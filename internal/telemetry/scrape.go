@@ -39,8 +39,9 @@ type Scraper struct {
 
 	mu           sync.Mutex
 	lastScrape   time.Time
-	prevCounters map[string]float64
-	prevBuckets  map[string][]float64
+	gen          uint64 // scrape generation, for stale-state pruning
+	prevCounters map[string]prevCounter
+	prevBuckets  map[string]prevBuckets
 	collectors   []func()
 	afterScrape  []func(time.Time)
 
@@ -48,6 +49,21 @@ type Scraper struct {
 	samples *Counter
 	lastDur *Gauge
 	points  *Gauge
+}
+
+// prevCounter and prevBuckets carry the previous scrape's value of one
+// series plus the generation it was last seen in. Series that vanish
+// from the registry (unregistered by the usage accountant's top-K
+// eviction) are swept after each scrape, so principal churn cannot
+// grow the scraper's derived-rate state without bound.
+type prevCounter struct {
+	v   float64
+	gen uint64
+}
+
+type prevBuckets struct {
+	cum []float64
+	gen uint64
 }
 
 // ScrapeOptions configures a Scraper.
@@ -92,8 +108,8 @@ func NewScraper(reg *Registry, db *tsdb.DB, opts ScrapeOptions) *Scraper {
 		interval:     opts.Interval,
 		now:          opts.Now,
 		quantiles:    opts.Quantiles,
-		prevCounters: map[string]float64{},
-		prevBuckets:  map[string][]float64{},
+		prevCounters: map[string]prevCounter{},
+		prevBuckets:  map[string]prevBuckets{},
 		runs:         reg.Counter("caladrius_scrape_runs_total", nil),
 		samples:      reg.Counter("caladrius_scrape_samples_total", nil),
 		lastDur:      reg.Gauge("caladrius_scrape_last_duration_seconds", nil),
@@ -142,6 +158,7 @@ func (s *Scraper) ScrapeOnce(t time.Time) int {
 	if !s.lastScrape.IsZero() {
 		dt = t.Sub(s.lastScrape).Seconds()
 	}
+	s.gen++
 	n := 0
 	for _, fam := range snap {
 		for _, ser := range fam.Series {
@@ -152,13 +169,14 @@ func (s *Scraper) ScrapeOnce(t time.Time) int {
 				s.db.Append(fam.Name, scrapeLabels(ser.Labels, "", ""), t, v)
 				n++
 				if prev, ok := s.prevCounters[key]; ok && dt > 0 {
-					if v < prev { // counter reset: rate restarts from zero
-						prev = 0
+					pv := prev.v
+					if v < pv { // counter reset: rate restarts from zero
+						pv = 0
 					}
-					s.db.Append(fam.Name+":rate", scrapeLabels(ser.Labels, "", ""), t, (v-prev)/dt)
+					s.db.Append(fam.Name+":rate", scrapeLabels(ser.Labels, "", ""), t, (v-pv)/dt)
 					n++
 				}
-				s.prevCounters[key] = v
+				s.prevCounters[key] = prevCounter{v: v, gen: s.gen}
 			case "gauge":
 				s.db.Append(fam.Name, scrapeLabels(ser.Labels, "", ""), t, *ser.Value)
 				n++
@@ -179,8 +197,19 @@ func (s *Scraper) ScrapeOnce(t time.Time) int {
 				s.db.Append(fam.Name+"_sum", scrapeLabels(ser.Labels, "", ""), t, *ser.Sum)
 				n += 2
 				n += s.appendQuantiles(fam.Name, ser.Labels, key, bounds, cum, t)
-				s.prevBuckets[key] = cum
+				s.prevBuckets[key] = prevBuckets{cum: cum, gen: s.gen}
 			}
+		}
+	}
+	// Sweep state of series the registry no longer exports.
+	for key, p := range s.prevCounters {
+		if p.gen != s.gen {
+			delete(s.prevCounters, key)
+		}
+	}
+	for key, p := range s.prevBuckets {
+		if p.gen != s.gen {
+			delete(s.prevBuckets, key)
 		}
 	}
 	s.lastScrape = t
@@ -203,12 +232,12 @@ func (s *Scraper) ScrapeOnce(t time.Time) int {
 // Caller holds s.mu.
 func (s *Scraper) appendQuantiles(name string, labels Labels, key string, bounds, cum []float64, t time.Time) int {
 	prev, ok := s.prevBuckets[key]
-	if !ok || len(prev) != len(cum) {
+	if !ok || len(prev.cum) != len(cum) {
 		return 0
 	}
 	inc := make([]float64, len(cum))
 	for i := range cum {
-		d := cum[i] - prev[i]
+		d := cum[i] - prev.cum[i]
 		if d < 0 { // histogram reset: skip this interval
 			return 0
 		}

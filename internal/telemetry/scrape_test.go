@@ -64,7 +64,7 @@ func TestScrapeCounterReset(t *testing.T) {
 	// Simulate a restart: previous value recorded as 100, new registry
 	// value drops below it.
 	s.mu.Lock()
-	s.prevCounters["events_total{}"] = 1000
+	s.prevCounters["events_total{}"] = prevCounter{v: 1000, gen: s.gen}
 	s.mu.Unlock()
 	c.Add(5)
 	s.ScrapeOnce(scrapeT0.Add(10 * time.Second))

@@ -21,7 +21,7 @@ SEED_SWEEP_NS=247852953
 
 echo "== micro benchmarks (${MICRO_TIME}) =="
 MICRO=$(go test -run '^$' \
-    -bench 'BenchmarkSimulatorMinute$|BenchmarkSimulatorMinuteWithInjector$|BenchmarkTSDBAppend$|BenchmarkTSDBAppendHandle$|BenchmarkLogRingAppend$|BenchmarkSLOEvaluateArmed$' \
+    -bench 'BenchmarkSimulatorMinute$|BenchmarkSimulatorMinuteWithInjector$|BenchmarkTSDBAppend$|BenchmarkTSDBAppendHandle$|BenchmarkLogRingAppend$|BenchmarkSLOEvaluateArmed$|BenchmarkUsageRecord$|BenchmarkMiddlewareRequest$|BenchmarkMiddlewareRequestAttributed$' \
     -benchmem -benchtime "$MICRO_TIME" .)
 echo "$MICRO"
 
@@ -53,6 +53,13 @@ LOGRING_ALLOCS=$(pick "$MICRO" BenchmarkLogRingAppend 7)
 SLOARMED_NS=$(pick "$MICRO" BenchmarkSLOEvaluateArmed 3)
 SLOARMED_B=$(pick "$MICRO" BenchmarkSLOEvaluateArmed 5)
 SLOARMED_ALLOCS=$(pick "$MICRO" BenchmarkSLOEvaluateArmed 7)
+USAGE_NS=$(pick "$MICRO" BenchmarkUsageRecord 3)
+USAGE_B=$(pick "$MICRO" BenchmarkUsageRecord 5)
+USAGE_ALLOCS=$(pick "$MICRO" BenchmarkUsageRecord 7)
+MW_NS=$(pick "$MICRO" BenchmarkMiddlewareRequest 3)
+MW_ALLOCS=$(pick "$MICRO" BenchmarkMiddlewareRequest 7)
+MWATTR_NS=$(pick "$MICRO" BenchmarkMiddlewareRequestAttributed 3)
+MWATTR_ALLOCS=$(pick "$MICRO" BenchmarkMiddlewareRequestAttributed 7)
 SWEEP1_NS=$(pick "$SWEEP" BenchmarkSweepParallel1 3)
 SWEEP8_NS=$(pick "$SWEEP" BenchmarkSweepParallel8 3)
 
@@ -90,6 +97,17 @@ cat > "$OUT" <<EOF
   "slo_evaluate_armed": {
     "now": {"ns_op": ${SLOARMED_NS}, "b_op": ${SLOARMED_B}, "allocs_op": ${SLOARMED_ALLOCS}},
     "note": "one healthy SLO evaluation pass with the incident recorder hook armed — the idle-recorder overhead on the evaluator loop"
+  },
+  "usage_record": {
+    "now": {"ns_op": ${USAGE_NS}, "b_op": ${USAGE_B}, "allocs_op": ${USAGE_ALLOCS}},
+    "budget": "warm-principal Begin+Finish must stay at 0 allocs/op"
+  },
+  "middleware_request_attributed": {
+    "plain_ns_op": ${MW_NS},
+    "attributed_ns_op": ${MWATTR_NS},
+    "overhead_vs_plain": $(ratio "$MWATTR_NS" "$MW_NS"),
+    "extra_allocs_op": $((MWATTR_ALLOCS - MW_ALLOCS)),
+    "note": "tenant attribution on the instrumented request path — header sanitisation, route-to-topology mapping, and the accountant pair"
   },
   "fig04_sweep": {
     "seed_sequential_ns": ${SEED_SWEEP_NS},

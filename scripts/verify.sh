@@ -4,19 +4,27 @@
 # (the scraper/SLO pipeline, the instrumented API, the TSDB, the
 # parallel sweep engine and the simulator it fans out, the audit
 # ledger with its background resolver, the incident flight recorder
-# with its capture worker, and the chaos layer — whose invariant
-# suite runs its fixed 3-seed × every-fault-kind matrix under -race
-# here), then a short fuzz smoke over the two parsers that face
-# untrusted input (config YAML, API range queries).
+# with its capture worker, the usage accountant with its concurrent
+# top-K churn suite, and the chaos layer — whose invariant suite runs
+# its fixed 3-seed × every-fault-kind matrix under -race here), then a
+# short fuzz smoke over the two parsers that face untrusted input
+# (config YAML, API range queries).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+UNFORMATTED=$(gofmt -l .)
+if [ -n "$UNFORMATTED" ]; then
+    echo "verify: gofmt needed on:" >&2
+    echo "$UNFORMATTED" >&2
+    exit 1
+fi
 go build ./...
 go vet ./...
 go test ./...
 go test -race ./internal/telemetry ./internal/api ./internal/tsdb
 go test -race ./internal/incident
 go test -race ./internal/audit
+go test -race ./internal/usage
 go test -race ./internal/experiments ./internal/heron
 go test -race ./internal/chaos ./internal/metrics
 FUZZTIME="${VERIFY_FUZZTIME:-10s}"
