@@ -17,6 +17,7 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -31,6 +32,7 @@ import (
 	"caladrius/internal/heron"
 	"caladrius/internal/incident"
 	"caladrius/internal/metrics"
+	"caladrius/internal/sched"
 	"caladrius/internal/telemetry"
 	"caladrius/internal/topology"
 	"caladrius/internal/tracker"
@@ -507,6 +509,118 @@ func BenchmarkUsageRecord(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		record()
+	}
+}
+
+// benchPredictEnv builds the instrumented handler over a small
+// simulated deployment, returning the tracker so benchmarks can force
+// calibration-cache invalidation between requests.
+func benchPredictEnv(b *testing.B, extra api.Options) (http.Handler, *tracker.Tracker, *topology.Topology, *topology.PackingPlan) {
+	b.Helper()
+	sim, err := heron.NewWordCount(heron.WordCountOptions{RatePerMinute: 8e6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sim.Run(5 * time.Minute); err != nil {
+		b.Fatal(err)
+	}
+	asOf := sim.Start().Add(5 * time.Minute)
+	top, err := heron.WordCountTopology(8, 1, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := topology.RoundRobinPack(top, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := tracker.New(func() time.Time { return asOf })
+	if err := tr.Register(top, plan); err != nil {
+		b.Fatal(err)
+	}
+	provider, err := metrics.NewTSDBProvider(sim.DB(), time.Minute)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := config.Default()
+	cfg.CalibrationLookback = 5 * time.Minute
+	cfg.CalibrationWarmup = 2
+	extra.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	extra.Now = func() time.Time { return asOf }
+	svc, err := api.NewService(cfg, tr, provider, extra)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return svc.Handler(), tr, top, plan
+}
+
+func benchPredict(b *testing.B, handler http.Handler) {
+	b.Helper()
+	req := httptest.NewRequest("POST", "/api/v1/model/topology/word-count/performance?sync=true",
+		strings.NewReader(`{"source_rate_tpm": 8000000}`))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("predict = %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+// BenchmarkPredictColdCache measures a sync performance prediction that
+// must recalibrate from provider metrics every time: each iteration
+// re-registers the packing plan, which fires the tracker change hook
+// and evicts the topology's calibration-cache entry.
+func BenchmarkPredictColdCache(b *testing.B) {
+	handler, tr, top, plan := benchPredictEnv(b, api.Options{})
+	benchPredict(b, handler) // warm code paths; cache is evicted per iteration below
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if err := tr.Update(top, plan); err != nil { // evicts the cache entry
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		benchPredict(b, handler)
+	}
+}
+
+// BenchmarkPredictWarmCache measures the same prediction when the
+// calibration cache holds the topology's model: the request skips the
+// provider fetch and component fitting entirely. The warm-vs-cold
+// ratio (recorded by scripts/bench.sh as predict_cache.speedup) is the
+// calibration cache's headline win; the acceptance floor is 5x.
+func BenchmarkPredictWarmCache(b *testing.B) {
+	handler, _, _, _ := benchPredictEnv(b, api.Options{})
+	benchPredict(b, handler) // populate the cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPredict(b, handler)
+	}
+}
+
+// BenchmarkCoalescedPredict measures a burst of identical concurrent
+// sync predictions through the scheduler: duplicates coalesce onto the
+// leader's in-flight run, so one burst costs about one model
+// evaluation plus fan-out, not eight.
+func BenchmarkCoalescedPredict(b *testing.B) {
+	scheduler := sched.New(sched.Options{Workers: 2, QueueDepth: 64})
+	defer scheduler.Close()
+	handler, _, _, _ := benchPredictEnv(b, api.Options{Scheduler: scheduler})
+	benchPredict(b, handler) // populate the calibration cache
+	const burst = 8
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for j := 0; j < burst; j++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				benchPredict(b, handler)
+			}()
+		}
+		wg.Wait()
 	}
 }
 

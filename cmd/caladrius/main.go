@@ -36,13 +36,21 @@
 // else, and the ranked breakdown is served through /api/v1/usage (see
 // `calctl usage`); -usage-topk 0 disables accounting.
 //
+// Model runs flow through a bounded worker-pool scheduler: identical
+// concurrent requests coalesce onto one run, calibrations are cached
+// per (topology, packing-plan version, lookback window) until a
+// tracker update invalidates them, and a tenant-fair admission queue
+// sheds overload with 429 + Retry-After. Scheduler state is served
+// through /api/v1/sched (see `calctl dash`); -sched-queue 0 runs model
+// work inline without it.
+//
 // Usage:
 //
 //	caladrius [-config caladrius.yaml] [-addr :8642] [-rate 30e6] [-debug-addr localhost:8643]
 //	          [-scrape-interval 5s] [-history-retention 1h] [-history-file caladrius-history.json]
 //	          [-audit-resolve-interval 15s] [-audit-retention 2h] [-audit-file caladrius-audit.json]
 //	          [-incident-dir caladrius-incidents] [-incident-retention 16] [-incident-cooldown 5m]
-//	          [-usage-topk 256] [-usage-window 15m]
+//	          [-usage-topk 256] [-usage-window 15m] [-sched-workers 4] [-sched-queue 64] [-calcache-ttl 10m]
 //
 // Then query it, e.g.:
 //
@@ -71,6 +79,7 @@ import (
 	"caladrius/internal/heron"
 	"caladrius/internal/incident"
 	"caladrius/internal/metrics"
+	"caladrius/internal/sched"
 	"caladrius/internal/telemetry"
 	"caladrius/internal/topology"
 	"caladrius/internal/tracker"
@@ -113,6 +122,9 @@ func run() error {
 	blockRate := flag.Int("block-profile-rate", -1, "sample blocking events of at least this many nanoseconds for incident block profiles; 0 disables, -1 uses the config value")
 	usageTopK := flag.Int("usage-topk", -1, "track at most this many (tenant, topology) usage principals, evicting into an 'other' rollup; 0 disables usage accounting, -1 uses the config value")
 	usageWindow := flag.Duration("usage-window", -1, "trailing window /api/v1/usage ranks principals over; -1 uses the config value")
+	schedWorkers := flag.Int("sched-workers", -1, "model-run scheduler worker pool size; 0 auto-sizes to max(2, GOMAXPROCS), -1 uses the config value")
+	schedQueue := flag.Int("sched-queue", -2, "model-run scheduler admission queue depth (excess sheds with 429); 0 disables the scheduler, -2 uses the config value")
+	calCacheTTL := flag.Duration("calcache-ttl", -1, "calibration cache entry lifetime; 0 keeps entries until invalidation, -1 uses the config value")
 	flag.Parse()
 
 	cfg := config.Default()
@@ -146,6 +158,15 @@ func run() error {
 	}
 	if *usageWindow >= 0 {
 		cfg.UsageWindow = *usageWindow
+	}
+	if *schedWorkers >= 0 {
+		cfg.SchedWorkers = *schedWorkers
+	}
+	if *schedQueue >= 0 {
+		cfg.SchedQueueDepth = *schedQueue
+	}
+	if *calCacheTTL >= 0 {
+		cfg.CalCacheTTL = *calCacheTTL
 	}
 	// Without these rates the runtime never samples contention, and an
 	// incident bundle's mutex/block profiles come out empty.
@@ -340,17 +361,35 @@ func run() error {
 		logger.Info("usage accounting enabled", "topk", cfg.UsageTopK, "window", cfg.UsageWindow)
 	}
 
+	// Model-run scheduler: bounded worker pool with coalescing and
+	// tenant-aware admission control. Queue depth 0 runs model work
+	// inline (the pre-scheduler behaviour).
+	var scheduler *sched.Scheduler
+	if cfg.SchedQueueDepth > 0 {
+		scheduler = sched.New(sched.Options{
+			Workers:    cfg.SchedWorkers,
+			QueueDepth: cfg.SchedQueueDepth,
+			Registry:   reg,
+		})
+		defer scheduler.Close()
+		st := scheduler.Stats()
+		logger.Info("model-run scheduler running", "workers", st.Workers,
+			"queue_depth", st.QueueLimit, "calcache_ttl", cfg.CalCacheTTL)
+	}
+
 	svc, err := api.NewService(cfg, tr, provider, api.Options{
-		Logger:    logger,
-		Now:       func() time.Time { return asOf },
-		Telemetry: reg,
-		Tracer:    tracer,
-		History:   history,
-		SLO:       slo,
-		Audit:     ledger,
-		Incidents: recorder,
-		Usage:     acct,
-		SimTicks:  simTicks,
+		Logger:      logger,
+		Now:         func() time.Time { return asOf },
+		Telemetry:   reg,
+		Tracer:      tracer,
+		History:     history,
+		SLO:         slo,
+		Audit:       ledger,
+		Incidents:   recorder,
+		Usage:       acct,
+		SimTicks:    simTicks,
+		Scheduler:   scheduler,
+		CalCacheTTL: cfg.CalCacheTTL,
 	})
 	if err != nil {
 		return err

@@ -31,6 +31,8 @@ var dashPanels = []dashPanel{
 	{title: "goroutines", metric: "caladrius_go_goroutines", agg: "max", merge: "max", scale: 1, unit: ""},
 	{title: "backpressure", metric: "caladrius_sim_backpressure_active_instances", agg: "mean", merge: "sum", scale: 1, unit: "inst"},
 	{title: "model MAPE", metric: "caladrius_model_mape", agg: "last", merge: "max", scale: 100, unit: "%"},
+	{title: "sched queue", metric: "caladrius_sched_queue_depth", agg: "max", merge: "max", scale: 1, unit: ""},
+	{title: "sheds", metric: "caladrius_sched_sheds_total:rate", agg: "mean", merge: "sum", scale: 60, unit: "sheds/min"},
 }
 
 // Local decode targets: the dashboard reads the wire format directly
@@ -40,6 +42,28 @@ type dashRange struct {
 		T time.Time `json:"t"`
 		V float64   `json:"v"`
 	} `json:"points"`
+}
+
+type dashSched struct {
+	Scheduler struct {
+		Workers       int     `json:"workers"`
+		QueueLimit    int     `json:"queue_limit"`
+		Queued        int     `json:"queued"`
+		Busy          int     `json:"busy"`
+		Runs          uint64  `json:"runs"`
+		Coalesced     uint64  `json:"coalesced"`
+		Sheds         uint64  `json:"sheds"`
+		ActiveTenants int     `json:"active_tenants"`
+		MeanRunMs     float64 `json:"mean_run_ms"`
+	} `json:"scheduler"`
+	CalCache struct {
+		Entries       int     `json:"entries"`
+		Hits          uint64  `json:"hits"`
+		Misses        uint64  `json:"misses"`
+		Stale         uint64  `json:"stale"`
+		Invalidations uint64  `json:"invalidations"`
+		HitRate       float64 `json:"hit_rate"`
+	} `json:"calcache"`
 }
 
 type dashAlerts struct {
@@ -166,6 +190,26 @@ func renderDash(c *client, window, step time.Duration, width int) error {
 				fmt.Printf("  (%d more — calctl incidents)\n", il.Count-len(shown))
 			}
 		}
+	}
+
+	// Model-run scheduler snapshot. Scheduler-disabled daemons (and
+	// older ones without the endpoint) answer 404; say so rather than
+	// silently omitting the panel.
+	var ds dashSched
+	found, err = c.getDecodeOpt("/api/v1/sched", &ds)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nscheduler:")
+	if !found {
+		fmt.Println("  (scheduler disabled — model runs execute inline)")
+	} else {
+		s, cc := ds.Scheduler, ds.CalCache
+		fmt.Printf("  queue %d/%d  busy %d/%d  tenants %d  runs %d  coalesced %d  sheds %d  mean run %.1fms\n",
+			s.Queued, s.QueueLimit, s.Busy, s.Workers, s.ActiveTenants,
+			s.Runs, s.Coalesced, s.Sheds, s.MeanRunMs)
+		fmt.Printf("  calcache %d entries  hit rate %.0f%%  (%d hits, %d misses, %d stale, %d invalidations)\n",
+			cc.Entries, cc.HitRate*100, cc.Hits, cc.Misses, cc.Stale, cc.Invalidations)
 	}
 
 	// Top principals by request volume over the server's usage window.

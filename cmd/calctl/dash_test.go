@@ -6,6 +6,8 @@ import (
 	"testing"
 	"time"
 
+	"caladrius/internal/api"
+	"caladrius/internal/sched"
 	"caladrius/internal/telemetry"
 )
 
@@ -54,6 +56,50 @@ func TestDashGracefulWhenSelfMonitoringDisabled(t *testing.T) {
 	}
 	if got := strings.Count(out, "(self-monitoring disabled)"); got != len(dashPanels)+1 {
 		t.Fatalf("disabled placeholders = %d, want %d (one per panel plus alerts):\n%s", got, len(dashPanels)+1, out)
+	}
+}
+
+// TestDashSchedulerPanel: against a scheduler-enabled daemon the dash
+// renders the scheduler snapshot; without one it says so explicitly.
+func TestDashSchedulerPanel(t *testing.T) {
+	scheduler := sched.New(sched.Options{Workers: 1, QueueDepth: 8})
+	defer scheduler.Close()
+	srv, _, _ := newTestServerOpts(t, false, false, func(o *api.Options) {
+		o.Scheduler = scheduler
+	})
+	// Drive one model run through the scheduler so the counters move.
+	resp, err := http.Post(srv.URL+"/api/v1/model/topology/word-count/performance?sync=true",
+		"application/json", strings.NewReader(`{"source_rate_tpm": 30000000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm-up predict = %d", resp.StatusCode)
+	}
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-server", srv.URL, "dash", "-iterations", "1", "-no-clear"})
+	})
+	if err != nil {
+		t.Fatalf("dash against scheduler-enabled server: %v", err)
+	}
+	if !strings.Contains(out, "queue 0/8") || !strings.Contains(out, "runs 1") {
+		t.Fatalf("dash missing scheduler snapshot:\n%s", out)
+	}
+	if strings.Contains(out, "scheduler disabled") {
+		t.Fatalf("dash shows disabled notice against a scheduler-enabled server:\n%s", out)
+	}
+
+	// Scheduler-less daemon: explicit notice, not a silent omission.
+	plain, _, _ := newTestServerOpts(t, false, false)
+	out, err = captureStdout(t, func() error {
+		return run([]string{"-server", plain.URL, "dash", "-iterations", "1", "-no-clear"})
+	})
+	if err != nil {
+		t.Fatalf("dash against scheduler-less server: %v", err)
+	}
+	if !strings.Contains(out, "scheduler disabled") {
+		t.Fatalf("dash missing scheduler-disabled notice:\n%s", out)
 	}
 }
 

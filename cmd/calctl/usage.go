@@ -89,6 +89,23 @@ func usageCmd(c *client, args []string) error {
 			p.Window.Runs, float64(p.Window.CPUNS)/1e6,
 			fmtBytes(p.Window.AllocBytes), p.Window.SimTicks)
 	}
+
+	// Admission-control context for the table above: how much of the
+	// tenants' demand the scheduler coalesced or shed. Absent against
+	// scheduler-disabled daemons.
+	var ds dashSched
+	found, err = c.getDecodeOpt("/api/v1/sched", &ds)
+	if err != nil {
+		return err
+	}
+	if found {
+		s := ds.Scheduler
+		fmt.Printf("\nscheduler: %d runs, %d coalesced, %d shed (429); queue %d/%d, %d active tenants, calcache hit rate %.0f%%\n",
+			s.Runs, s.Coalesced, s.Sheds, s.Queued, s.QueueLimit,
+			s.ActiveTenants, ds.CalCache.HitRate*100)
+	} else {
+		fmt.Println("\nscheduler: disabled — model runs execute inline, no admission control")
+	}
 	return nil
 }
 

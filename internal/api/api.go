@@ -50,6 +50,7 @@ import (
 	"caladrius/internal/graph"
 	"caladrius/internal/incident"
 	"caladrius/internal/metrics"
+	"caladrius/internal/sched"
 	"caladrius/internal/telemetry"
 	"caladrius/internal/tracker"
 	"caladrius/internal/tsdb"
@@ -80,13 +81,27 @@ type Service struct {
 	jobsDone    *telemetry.Counter
 	jobsFailed  *telemetry.Counter
 
-	mu         sync.Mutex
-	modelCache map[string]cachedModel // topology name → calibrated model
+	// schedr is the bounded model-run scheduler; nil runs model work
+	// inline (and /api/v1/sched answers 404).
+	schedr *sched.Scheduler
+	// calcache holds calibrated topology models keyed by (topology,
+	// packing-plan version, provider window); invalidated by tracker
+	// change hooks and forced recalibrations.
+	calcache *sched.CalCache
+
+	// calMu guards calFlights, the per-topology calibration
+	// singleflight: concurrent cache misses on one topology share a
+	// single fetch→calibrate run instead of racing duplicates.
+	calMu      sync.Mutex
+	calFlights map[string]*calFlight
 }
 
-type cachedModel struct {
-	planVersion int
-	model       *core.TopologyModel
+// calFlight is one in-progress calibration run other requests for the
+// same topology wait on.
+type calFlight struct {
+	done chan struct{}
+	tm   *core.TopologyModel
+	err  error
 }
 
 // Options carries the service's optional dependencies.
@@ -125,6 +140,17 @@ type Options struct {
 	// model-run costs include the ticks they drove (the demo sim's
 	// caladrius_sim_ticks_total). Only read when Usage is set.
 	SimTicks func() uint64
+	// Scheduler is the bounded model-run scheduler every predict/plan/
+	// calibrate request is queued through: identical concurrent requests
+	// coalesce into one run, and admission control sheds excess load as
+	// 429 + Retry-After with per-tenant fairness. Nil runs model work
+	// inline — one goroutine per async job, no admission control — and
+	// leaves /api/v1/sched answering 404.
+	Scheduler *sched.Scheduler
+	// CalCacheTTL bounds calibration-cache entry age; 0 means entries
+	// only leave on tracker/packing changes and forced recalibrations.
+	// Measured against Now, so a frozen demo clock never expires them.
+	CalCacheTTL time.Duration
 }
 
 // New builds a service. logger and now are optional; telemetry is
@@ -160,7 +186,7 @@ func NewService(cfg config.Config, tr *tracker.Tracker, provider metrics.Provide
 	if opts.Usage != nil {
 		sampler = &core.CostSampler{Ticks: opts.SimTicks}
 	}
-	return &Service{
+	s := &Service{
 		cfg:         cfg,
 		tracker:     tr,
 		provider:    provider,
@@ -180,8 +206,19 @@ func NewService(cfg config.Config, tr *tracker.Tracker, provider metrics.Provide
 		jobsRunning: reg.Gauge("caladrius_jobs_running", nil),
 		jobsDone:    reg.Counter("caladrius_jobs_completed_total", telemetry.Labels{"outcome": "done"}),
 		jobsFailed:  reg.Counter("caladrius_jobs_completed_total", telemetry.Labels{"outcome": "failed"}),
-		modelCache:  map[string]cachedModel{},
-	}, nil
+		schedr:      opts.Scheduler,
+		calcache: sched.NewCalCache(sched.CalCacheOptions{
+			TTL:      opts.CalCacheTTL,
+			Now:      opts.Now,
+			Registry: reg,
+		}),
+		calFlights: map[string]*calFlight{},
+	}
+	// Tracker updates and packing-plan changes evict exactly the changed
+	// topology's calibrated model and graph analyses; everything else
+	// stays warm.
+	tr.OnChange(s.invalidateModel)
+	return s, nil
 }
 
 // Metrics returns the registry the service instruments into, for
@@ -211,6 +248,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/api/v1/incidents", s.handleIncidentsList)
 	mux.HandleFunc("/api/v1/incidents/", s.handleIncident)
 	mux.HandleFunc("/api/v1/usage", s.handleUsage)
+	mux.HandleFunc("/api/v1/sched", s.handleSched)
 	return instrument(mux, s.httpInst, s.logger, s.usage)
 }
 
@@ -290,10 +328,10 @@ func (s *Service) handleTraffic(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if hasAction {
-		s.dispatch(w, r, "rank", func(ctx context.Context) (any, error) { return s.runRank(ctx, topoName, req) })
+		s.dispatch(w, r, "rank", topoName, req, func(ctx context.Context) (any, error) { return s.runRank(ctx, topoName, req) })
 		return
 	}
-	s.dispatch(w, r, "traffic", func(ctx context.Context) (any, error) { return s.runTraffic(ctx, topoName, req) })
+	s.dispatch(w, r, "traffic", topoName, req, func(ctx context.Context) (any, error) { return s.runTraffic(ctx, topoName, req) })
 }
 
 // RankEntry is one model's backtest outcome on the topology's own
@@ -373,7 +411,7 @@ func (s *Service) handleTopology(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusOK, resp)
 			return
 		}
-		tm, err := s.topologyModel(r.Context(), topoName, time.Time{})
+		tm, _, err := s.topologyModel(r.Context(), topoName, time.Time{})
 		if err != nil {
 			writeError(w, err)
 			return
@@ -392,21 +430,21 @@ func (s *Service) handleTopology(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		s.dispatch(w, r, "performance", func(ctx context.Context) (any, error) { return s.runPerformance(ctx, topoName, req) })
+		s.dispatch(w, r, "performance", topoName, req, func(ctx context.Context) (any, error) { return s.runPerformance(ctx, topoName, req) })
 	case "suggest":
 		var req SuggestRequest
 		if err := decodeBody(r.Body, &req); err != nil {
 			httpError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		s.dispatch(w, r, "suggest", func(ctx context.Context) (any, error) { return s.runSuggest(ctx, topoName, req) })
+		s.dispatch(w, r, "suggest", topoName, req, func(ctx context.Context) (any, error) { return s.runSuggest(ctx, topoName, req) })
 	case "query":
 		var req GraphQueryRequest
 		if err := decodeBody(r.Body, &req); err != nil {
 			httpError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		s.dispatch(w, r, "graph-query", func(ctx context.Context) (any, error) { return s.runGraphQuery(ctx, topoName, req) })
+		s.dispatch(w, r, "graph-query", topoName, req, func(ctx context.Context) (any, error) { return s.runGraphQuery(ctx, topoName, req) })
 	case "calibrate":
 		var req PerformanceRequest
 		if err := decodeBody(r.Body, &req); err != nil {
@@ -414,8 +452,8 @@ func (s *Service) handleTopology(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.invalidateModel(topoName)
-		s.dispatch(w, r, "calibrate", func(ctx context.Context) (any, error) {
-			_, err := s.topologyModel(ctx, topoName, req.AsOf)
+		s.dispatch(w, r, "calibrate", topoName, req, func(ctx context.Context) (any, error) {
+			_, _, err := s.topologyModel(ctx, topoName, req.AsOf)
 			if err != nil {
 				return nil, err
 			}
@@ -467,14 +505,47 @@ const TraceHeader = "X-Caladrius-Trace"
 // middleware-assigned trace id (already echoed in the TraceHeader
 // response header), so the header, the access-log line and the span
 // tree of one request share a single id.
-func (s *Service) dispatch(w http.ResponseWriter, r *http.Request, op string, fn func(context.Context) (any, error)) {
+//
+// With a scheduler configured every model run is queued through it
+// instead of executing on the request (or a fresh job) goroutine:
+// concurrency is bounded by the worker pool, identical concurrent
+// requests coalesce into one run, queue time appears as a "queue-wait"
+// span, and admission control may shed the request as 429 +
+// Retry-After before any model work starts. Sync requests queue at
+// High priority (a client is blocked on them), async jobs at Normal —
+// except rank backtests, batch work that queues at Low either way.
+func (s *Service) dispatch(w http.ResponseWriter, r *http.Request, op, topoName string, req any, fn func(context.Context) (any, error)) {
 	tenant := RequestTenant(r.Context())
-	if r.URL.Query().Get("sync") == "true" {
+	isSync := r.URL.Query().Get("sync") == "true"
+	if isSync {
 		root := s.tracer.Start(RequestTraceID(r.Context()), op)
 		root.SetAttr("path", r.URL.Path)
 		root.SetAttr("mode", "sync")
 		root.SetAttr("tenant", tenant)
-		result, err := fn(telemetry.ContextWithSpan(r.Context(), root))
+		ctx := telemetry.ContextWithSpan(r.Context(), root)
+		var result any
+		var err error
+		if s.schedr == nil {
+			result, err = fn(ctx)
+		} else {
+			sreq := sched.Request{
+				Topology: topoName,
+				Kind:     op,
+				Tenant:   tenant,
+				Hash:     requestHash(op, topoName, req),
+				Priority: schedPriority(op, isSync),
+			}
+			var h sched.Handle
+			if h, err = s.schedr.Submit(ctx, sreq, fn); err == nil {
+				if h.Coalesced() {
+					root.SetAttr("coalesced", "true")
+				}
+				// Wait under the request context: a disconnecting client
+				// abandons its wait, but the run itself completes (other
+				// coalesced waiters may share it) and is still audited.
+				result, err = h.Wait(r.Context())
+			}
+		}
 		if err != nil {
 			root.SetAttr("error", err.Error())
 		}
@@ -497,19 +568,59 @@ func (s *Service) dispatch(w http.ResponseWriter, r *http.Request, op string, fn
 	// a fresh one. The tenant rides along so the run's cost still bills
 	// the requester, not anonymous.
 	ctx := telemetry.ContextWithSpan(ContextWithTenant(context.Background(), tenant), root)
-	s.jobsRunning.Inc()
-	s.jobs.run(job.ID, func() (any, error) {
-		defer s.jobsRunning.Dec()
-		defer root.End()
-		result, err := fn(ctx)
-		if err != nil {
-			root.SetAttr("error", err.Error())
-			s.jobsFailed.Inc()
-		} else {
-			s.jobsDone.Inc()
+	if s.schedr != nil {
+		sreq := sched.Request{
+			Topology: topoName,
+			Kind:     op,
+			Tenant:   tenant,
+			Hash:     requestHash(op, topoName, req),
+			Priority: schedPriority(op, isSync),
 		}
-		return result, err
-	})
+		h, err := s.schedr.Submit(ctx, sreq, fn)
+		if err != nil {
+			// Shed before any model work started: the job never ran, so
+			// it leaves no record — the client gets the 429 itself.
+			s.jobs.remove(job.ID)
+			root.SetAttr("error", err.Error())
+			root.End()
+			w.Header().Set(TraceHeader, root.TraceID())
+			writeError(w, err)
+			return
+		}
+		if h.Coalesced() {
+			root.SetAttr("coalesced", "true")
+		}
+		s.jobs.start(job.ID)
+		s.jobsRunning.Inc()
+		h.OnDone(func(result any, err error) {
+			defer s.jobsRunning.Dec()
+			if err != nil {
+				root.SetAttr("error", err.Error())
+			}
+			root.End()
+			if err != nil {
+				s.jobs.complete(job.ID, nil, err)
+				s.jobsFailed.Inc()
+			} else {
+				s.jobs.complete(job.ID, result, nil)
+				s.jobsDone.Inc()
+			}
+		})
+	} else {
+		s.jobsRunning.Inc()
+		s.jobs.run(job.ID, func() (any, error) {
+			defer s.jobsRunning.Dec()
+			defer root.End()
+			result, err := fn(ctx)
+			if err != nil {
+				root.SetAttr("error", err.Error())
+				s.jobsFailed.Inc()
+			} else {
+				s.jobsDone.Inc()
+			}
+			return result, err
+		})
+	}
 	w.Header().Set(TraceHeader, job.ID)
 	w.Header().Set("Location", "/api/v1/jobs/"+job.ID)
 	writeJSON(w, http.StatusAccepted, map[string]any{
@@ -517,6 +628,36 @@ func (s *Service) dispatch(w http.ResponseWriter, r *http.Request, op string, fn
 		"poll":   "/api/v1/jobs/" + job.ID,
 		"trace":  "/api/v1/jobs/" + job.ID + "/trace",
 	})
+}
+
+// requestHash fingerprints a model request's inputs — operation,
+// topology and the canonical JSON encoding of the request body — for
+// coalescing. Forced recalibrations return 0 (the scheduler's
+// never-coalesce sentinel): each explicit calibrate must run, though
+// overlapping ones still share work through the calibration
+// singleflight.
+func requestHash(op, topoName string, req any) uint64 {
+	if op == "calibrate" {
+		return 0
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return 0
+	}
+	return sched.Hash64(op, topoName, string(body))
+}
+
+// schedPriority maps an operation to its queue priority: interactive
+// sync requests outrank async jobs; rank backtests are batch work
+// behind both.
+func schedPriority(op string, isSync bool) sched.Priority {
+	if op == "rank" {
+		return sched.Low
+	}
+	if isSync {
+		return sched.High
+	}
+	return sched.Normal
 }
 
 // --- model execution ------------------------------------------------------
@@ -595,7 +736,7 @@ func (s *Service) runPerformance(ctx context.Context, topoName string, req Perfo
 	if asOf.IsZero() {
 		asOf = s.now()
 	}
-	tm, err := s.topologyModel(ctx, topoName, asOf)
+	tm, calCached, err := s.topologyModel(ctx, topoName, asOf)
 	if err != nil {
 		return nil, err
 	}
@@ -639,7 +780,7 @@ func (s *Service) runPerformance(ctx context.Context, topoName string, req Perfo
 	// at its currently observed rate.
 	counterfactual := len(req.Parallelism) > 0 || req.SourceRateTPM != 0 || req.UseForecast
 	_, psp := telemetry.StartSpan(ctx, "predict")
-	pred, cost, err := tm.PredictMeasured(s.auditRecorder(ctx, topoName, "predict", counterfactual), s.sampler, req.Parallelism, rate)
+	pred, cost, err := tm.PredictMeasured(s.auditRecorder(ctx, topoName, "predict", counterfactual, calCached), s.sampler, req.Parallelism, rate)
 	psp.End()
 	s.chargeRun(ctx, topoName, cost)
 	if err != nil {
@@ -662,24 +803,54 @@ func (s *Service) sourceRate(ctx context.Context, topoName string, spouts []stri
 	return s.provider.SourceRate(topoName, spouts, start, end)
 }
 
-// topologyModel returns the calibrated model for the topology, reusing
-// the cache while the packing-plan version is unchanged. The run is
-// recorded under a "calibrate" span (attr cache=hit|miss); on a miss
-// the core calibration reports per-component stage timings into it.
-func (s *Service) topologyModel(ctx context.Context, topoName string, asOf time.Time) (*core.TopologyModel, error) {
+// topologyModel returns the calibrated model for the topology, served
+// from the calibration cache while the packing-plan version and
+// provider window are unchanged (and the entry's TTL, when configured,
+// has not passed). cached reports whether the request skipped the
+// fetch→calibrate stages — either a cache hit, or a wait on a
+// calibration another concurrent request was already running (the
+// calibration singleflight). The run is recorded under a "calibrate"
+// span (attr cache=hit|miss|coalesced); on a true miss the core
+// calibration reports per-component stage timings into it.
+func (s *Service) topologyModel(ctx context.Context, topoName string, asOf time.Time) (tm *core.TopologyModel, cached bool, err error) {
 	ctx, sp := telemetry.StartSpan(ctx, "calibrate")
 	defer sp.End()
 	info, err := s.trackerGet(ctx, topoName)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	s.mu.Lock()
-	if c, ok := s.modelCache[topoName]; ok && c.planVersion == info.Plan.Version {
-		s.mu.Unlock()
+	window := s.cfg.CalibrationLookback
+	if m, ok := s.calcache.Lookup(topoName, info.Plan.Version, window); ok {
 		sp.SetAttr("cache", "hit")
-		return c.model, nil
+		return m, true, nil
 	}
-	s.mu.Unlock()
+	// Miss: join or become the topology's calibration singleflight.
+	// Two concurrent predicts on a cold topology run one calibration,
+	// not two — the second waits and is marked cache-served.
+	s.calMu.Lock()
+	if f, ok := s.calFlights[topoName]; ok {
+		s.calMu.Unlock()
+		sp.SetAttr("cache", "coalesced")
+		<-f.done
+		return f.tm, f.err == nil, f.err
+	}
+	f := &calFlight{done: make(chan struct{})}
+	s.calFlights[topoName] = f
+	s.calMu.Unlock()
+	defer func() {
+		f.tm, f.err = tm, err
+		s.calMu.Lock()
+		delete(s.calFlights, topoName)
+		s.calMu.Unlock()
+		close(f.done)
+	}()
+	// Double-check after winning the flight: a calibration that
+	// completed between the lookup and the flight may have filled the
+	// cache already.
+	if m, ok := s.calcache.Lookup(topoName, info.Plan.Version, window); ok {
+		sp.SetAttr("cache", "hit")
+		return m, true, nil
+	}
 	sp.SetAttr("cache", "miss")
 	// A cache miss performs a full recalibration — usually the most
 	// expensive run a request triggers, so it is metered and charged to
@@ -690,7 +861,7 @@ func (s *Service) topologyModel(ctx context.Context, topoName string, asOf time.
 	if asOf.IsZero() {
 		asOf = s.now()
 	}
-	start := asOf.Add(-s.cfg.CalibrationLookback)
+	start := asOf.Add(-window)
 	// Topology-aware calibration attributes backpressure to the true
 	// bottleneck, discarding the spurious upstream backpressure that
 	// burst-resume cycles induce.
@@ -700,11 +871,11 @@ func (s *Service) topologyModel(ctx context.Context, topoName string, asOf time.
 		Stages: telemetry.SpanFromContext(ctx),
 	})
 	if err != nil {
-		return nil, fmt.Errorf("calibrate %s: %w", topoName, err)
+		return nil, false, fmt.Errorf("calibrate %s: %w", topoName, err)
 	}
-	tm, err := core.NewTopologyModel(info.Topology, models)
+	tm, err = core.NewTopologyModel(info.Topology, models)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	// A calibration that had to widen past metric gaps, or still ran on
 	// sparse windows, is kept — but every prediction it makes is
@@ -717,22 +888,21 @@ func (s *Service) topologyModel(ctx context.Context, topoName string, asOf time.
 	}
 	// Warm the graph cache alongside the model: analyses use both.
 	if _, _, err := s.graphs.Get(info.Topology, info.Plan); err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	s.mu.Lock()
-	s.modelCache[topoName] = cachedModel{planVersion: info.Plan.Version, model: tm}
-	s.mu.Unlock()
+	s.calcache.Store(topoName, info.Plan.Version, window, tm)
 	if s.audit != nil {
 		s.audit.NoteCalibration(topoName, asOf)
 	}
 	s.logger.Info("calibrated topology model", "topology", topoName, "plan_version", info.Plan.Version)
-	return tm, nil
+	return tm, false, nil
 }
 
+// invalidateModel evicts one topology's calibrated model and graph
+// analyses — the tracker change hook, also run before a forced
+// recalibration.
 func (s *Service) invalidateModel(topoName string) {
-	s.mu.Lock()
-	delete(s.modelCache, topoName)
-	s.mu.Unlock()
+	s.calcache.Invalidate(topoName)
 	s.graphs.Invalidate(topoName)
 }
 
@@ -763,7 +933,7 @@ func (s *Service) runSuggest(ctx context.Context, topoName string, req SuggestRe
 	if asOf.IsZero() {
 		asOf = s.now()
 	}
-	tm, err := s.topologyModel(ctx, topoName, asOf)
+	tm, calCached, err := s.topologyModel(ctx, topoName, asOf)
 	if err != nil {
 		return nil, err
 	}
@@ -791,7 +961,7 @@ func (s *Service) runSuggest(ctx context.Context, topoName string, req SuggestRe
 	}
 	// Plans evaluate a hypothetical parallelism — always counterfactual.
 	_, prSp := telemetry.StartSpan(ctx, "predict")
-	pred, cost, err := tm.PredictMeasured(s.auditRecorder(ctx, topoName, "plan", true), s.sampler, plan, rate)
+	pred, cost, err := tm.PredictMeasured(s.auditRecorder(ctx, topoName, "plan", true, calCached), s.sampler, plan, rate)
 	prSp.End()
 	s.chargeRun(ctx, topoName, cost)
 	if err != nil {
@@ -952,7 +1122,16 @@ func decodeBody(body io.Reader, v any) error {
 }
 
 func statusFor(err error) int {
+	var over *sched.ErrOverloaded
 	switch {
+	case errors.As(err, &over):
+		// Admission control shed the request: the service is healthy
+		// but saturated, and this tenant is over its fair share. 429 —
+		// unlike the 503 below, retrying as a different tenant would be
+		// admitted, and the backend is not down.
+		return http.StatusTooManyRequests
+	case errors.Is(err, sched.ErrClosed):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, tracker.ErrNotFound):
 		return http.StatusNotFound
 	case errors.Is(err, metrics.ErrUnavailable):
@@ -971,13 +1150,24 @@ func statusFor(err error) int {
 // RetryAfterSeconds is the Retry-After hint attached to 503 responses.
 const RetryAfterSeconds = 5
 
-// writeError maps err onto an HTTP error response; 503s carry a
-// Retry-After header so well-behaved clients back off instead of
-// hammering a provider that is already down.
+// writeError maps err onto an HTTP error response. 503s (provider
+// down) carry a fixed Retry-After so well-behaved clients back off
+// instead of hammering a backend that is already down; 429s (admission
+// shed) carry the scheduler's backlog-derived Retry-After estimate.
 func writeError(w http.ResponseWriter, err error) {
 	status := statusFor(err)
-	if status == http.StatusServiceUnavailable {
+	switch status {
+	case http.StatusServiceUnavailable:
 		w.Header().Set("Retry-After", strconv.Itoa(RetryAfterSeconds))
+	case http.StatusTooManyRequests:
+		var over *sched.ErrOverloaded
+		if errors.As(err, &over) {
+			secs := int(over.RetryAfter / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+		}
 	}
 	httpError(w, status, err.Error())
 }

@@ -289,10 +289,7 @@ func TestCalibrateEndpointAndCache(t *testing.T) {
 	// First performance call calibrates and caches.
 	resp := postJSON(t, srv.URL+"/api/v1/model/topology/word-count/performance?sync=true", PerformanceRequest{SourceRateTPM: 10e6})
 	decode[PerformanceResponse](t, resp, http.StatusOK)
-	svc.mu.Lock()
-	_, cached := svc.modelCache["word-count"]
-	svc.mu.Unlock()
-	if !cached {
+	if svc.calcache.Len() != 1 {
 		t.Fatal("model not cached after first call")
 	}
 	// Force recalibration.

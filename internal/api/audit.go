@@ -28,6 +28,7 @@ type ledgerRecorder struct {
 	traceID        string
 	tenant         string
 	counterfactual bool
+	cachedCal      bool
 }
 
 func (r ledgerRecorder) RecordRun(run core.ModelRun) {
@@ -47,16 +48,17 @@ func (r ledgerRecorder) RecordRun(run core.ModelRun) {
 		cost = &c
 	}
 	r.led.Record(audit.Record{
-		Topology:       r.topology,
-		Model:          r.model,
-		TraceID:        r.traceID,
-		Tenant:         r.tenant,
-		Cost:           cost,
-		SourceRateTPM:  run.SourceRate,
-		Parallelism:    run.Parallelism,
-		Counterfactual: r.counterfactual,
-		Degraded:       run.Degraded,
-		Calibration:    run.Calibration,
+		Topology:          r.topology,
+		Model:             r.model,
+		TraceID:           r.traceID,
+		Tenant:            r.tenant,
+		Cost:              cost,
+		SourceRateTPM:     run.SourceRate,
+		Parallelism:       run.Parallelism,
+		Counterfactual:    r.counterfactual,
+		Degraded:          run.Degraded,
+		CachedCalibration: r.cachedCal,
+		Calibration:       run.Calibration,
 		Predicted: audit.Predicted{
 			SinkTPM:             p.SinkThroughput,
 			OutputTPM:           cp.OutputRate,
@@ -71,7 +73,9 @@ func (r ledgerRecorder) RecordRun(run core.ModelRun) {
 
 // auditRecorder builds the RunRecorder for one model run, or nil when
 // the service has no ledger (PredictRecorded then degrades to Predict).
-func (s *Service) auditRecorder(ctx context.Context, topology, model string, counterfactual bool) core.RunRecorder {
+// cachedCal marks runs whose calibration was served from the cache (or
+// another request's in-flight calibration) rather than performed fresh.
+func (s *Service) auditRecorder(ctx context.Context, topology, model string, counterfactual, cachedCal bool) core.RunRecorder {
 	if s.audit == nil {
 		return nil
 	}
@@ -82,6 +86,7 @@ func (s *Service) auditRecorder(ctx context.Context, topology, model string, cou
 		traceID:        telemetry.SpanFromContext(ctx).TraceID(),
 		tenant:         RequestTenant(ctx),
 		counterfactual: counterfactual,
+		cachedCal:      cachedCal,
 	}
 }
 

@@ -40,6 +40,7 @@ const (
 	routeIncident         = "/api/v1/incidents/{id}"
 	routeIncidentArtifact = "/api/v1/incidents/{id}/artifacts/{name}"
 	routeUsage            = "/api/v1/usage"
+	routeSched            = "/api/v1/sched"
 	routeOther            = "other"
 )
 
@@ -49,7 +50,7 @@ var allRoutes = []string{
 	routeGraph, routeQuery, routeJob, routeJobTrace,
 	routeQueryRange, routeAlerts, routeAudit, routeAuditRecord,
 	routeIncidents, routeIncidentCapture, routeIncident, routeIncidentArtifact,
-	routeUsage, routeOther,
+	routeUsage, routeSched, routeOther,
 }
 
 // NoTopology is the topology value usage attribution charges requests
@@ -86,6 +87,8 @@ func routeInfo(path string) (pattern, topology string) {
 		return routeIncidentCapture, NoTopology
 	case routeUsage:
 		return routeUsage, NoTopology
+	case routeSched:
+		return routeSched, NoTopology
 	}
 	if rest, ok := strings.CutPrefix(path, "/api/v1/incidents/"); ok {
 		id, sub, hasSub := strings.Cut(rest, "/")

@@ -1,0 +1,35 @@
+package api
+
+import (
+	"net/http"
+
+	"caladrius/internal/sched"
+)
+
+// The scheduler surface: GET /api/v1/sched exposes a point-in-time
+// snapshot of the model-run scheduler (queue, workers, coalescing,
+// sheds) and the calibration cache (hits, misses, residency). Like the
+// other opt-in surfaces it answers 404 when the service runs without a
+// scheduler — calctl uses that to print its "scheduler disabled"
+// notice instead of an empty panel.
+
+// SchedResponse is the payload of GET /api/v1/sched.
+type SchedResponse struct {
+	Scheduler sched.Stats         `json:"scheduler"`
+	CalCache  sched.CalCacheStats `json:"calcache"`
+}
+
+func (s *Service) handleSched(w http.ResponseWriter, r *http.Request) {
+	if s.schedr == nil {
+		httpError(w, http.StatusNotFound, "scheduler disabled: service runs model work inline")
+		return
+	}
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, SchedResponse{
+		Scheduler: s.schedr.Stats(),
+		CalCache:  s.calcache.Stats(),
+	})
+}

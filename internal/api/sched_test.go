@@ -1,0 +1,408 @@
+package api
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"caladrius/internal/audit"
+	"caladrius/internal/config"
+	"caladrius/internal/core"
+	"caladrius/internal/heron"
+	"caladrius/internal/metrics"
+	"caladrius/internal/sched"
+	"caladrius/internal/topology"
+	"caladrius/internal/tracker"
+	"caladrius/internal/workload"
+)
+
+// The scheduler e2e surface: these tests drive the full HTTP stack
+// with a real scheduler attached, covering the three perf layers the
+// scheduler adds — coalescing (duplicate requests, one model run),
+// admission control (429 + Retry-After with per-tenant fairness) and
+// calibration-cache invalidation through tracker change hooks.
+
+type schedEnv struct {
+	svc *Service
+	srv *httptest.Server
+	led *audit.Ledger
+	tr  *tracker.Tracker
+	cfg config.Config
+}
+
+// newSchedEnv builds the simulated word-count deployment with an audit
+// ledger and the given scheduler (nil = inline service).
+func newSchedEnv(t *testing.T, scheduler *sched.Scheduler) schedEnv {
+	t.Helper()
+	sim, err := heron.NewWordCount(heron.WordCountOptions{
+		SplitterP: 3, CounterP: 8,
+		Schedule: workload.StepRate(20e6/60, 45e6/60, 20*time.Minute),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(40 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	asOf := sim.Start().Add(40 * time.Minute)
+	top, err := heron.WordCountTopology(8, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := topology.RoundRobinPack(top, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := tracker.New(func() time.Time { return asOf })
+	if err := tr.Register(top, plan); err != nil {
+		t.Fatal(err)
+	}
+	provider, err := metrics.NewTSDBProvider(sim.DB(), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	led, err := audit.NewLedger(audit.Options{
+		Provider: provider,
+		Now:      func() time.Time { return asOf },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := config.Default()
+	cfg.CalibrationLookback = 40 * time.Minute
+	cfg.CalibrationWarmup = 3
+	svc, err := NewService(cfg, tr, provider, Options{
+		Now:       func() time.Time { return asOf },
+		Audit:     led,
+		Scheduler: scheduler,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(srv.Close)
+	return schedEnv{svc: svc, srv: srv, led: led, tr: tr, cfg: cfg}
+}
+
+func postJSONTenant(t *testing.T, url, tenant string, body any) *http.Response {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set(TenantHeader, tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestSchedEndpointDisabled(t *testing.T) {
+	_, srv, _ := testEnv(t)
+	resp, err := http.Get(srv.URL + "/api/v1/sched")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /api/v1/sched without scheduler = %d; want 404", resp.StatusCode)
+	}
+}
+
+// TestCoalescedRequestsOneModelRun: concurrent identical sync predicts
+// share one model run — the audit ledger holds exactly one record.
+func TestCoalescedRequestsOneModelRun(t *testing.T) {
+	scheduler := sched.New(sched.Options{Workers: 1, QueueDepth: 32})
+	defer scheduler.Close()
+	env := newSchedEnv(t, scheduler)
+
+	// Occupy the single worker so every request below is concurrently
+	// pending when coalescing decides.
+	release := make(chan struct{})
+	started := make(chan struct{})
+	blocker, err := scheduler.Submit(context.Background(), sched.Request{Topology: "blk", Kind: "test", Tenant: "blk"},
+		func(ctx context.Context) (any, error) { close(started); <-release; return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	const clients = 6
+	var wg sync.WaitGroup
+	statuses := make([]int, clients)
+	req := PerformanceRequest{SourceRateTPM: 30e6}
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp := postJSON(t, env.srv.URL+"/api/v1/model/topology/word-count/performance?sync=true", req)
+			resp.Body.Close()
+			statuses[i] = resp.StatusCode
+		}(i)
+	}
+	// Wait until all six are pending in the scheduler: one leader
+	// queued, five coalesced onto it.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := scheduler.Stats()
+		if st.Coalesced >= clients-1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("requests never coalesced: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	blocker.Wait(context.Background())
+	wg.Wait()
+	for i, code := range statuses {
+		if code != http.StatusOK {
+			t.Fatalf("request %d status = %d; want 200", i, code)
+		}
+	}
+	if n := env.led.Len(); n != 1 {
+		t.Fatalf("audit ledger holds %d model runs for %d identical requests; want exactly 1", n, clients)
+	}
+	st := scheduler.Stats()
+	if st.Coalesced != clients-1 {
+		t.Fatalf("Stats.Coalesced = %d; want %d", st.Coalesced, clients-1)
+	}
+}
+
+// TestSaturationSheddingFairness drives the service into saturation
+// from one tenant and verifies the 429 + Retry-After shedding contract
+// with per-tenant fairness: the flooding tenant is shed once over its
+// fair share while another tenant's request is still admitted.
+func TestSaturationSheddingFairness(t *testing.T) {
+	scheduler := sched.New(sched.Options{Workers: 1, QueueDepth: 2})
+	defer scheduler.Close()
+	env := newSchedEnv(t, scheduler)
+
+	release := make(chan struct{})
+	started := make(chan struct{})
+	// The blocker runs as tenant "hog", so hog already owns the worker
+	// when its flood arrives.
+	blocker, err := scheduler.Submit(context.Background(), sched.Request{Topology: "blk", Kind: "test", Tenant: "hog"},
+		func(ctx context.Context) (any, error) { close(started); <-release; return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	// Six distinct hog requests (different rates — no coalescing).
+	// With depth 2, exactly 2 enqueue and 4 are shed, regardless of
+	// arrival order: admissions only happen while the queue is below
+	// depth, and every later hog request is over fair share.
+	const flood = 6
+	var wg sync.WaitGroup
+	type outcome struct {
+		status     int
+		retryAfter string
+	}
+	outcomes := make([]outcome, flood)
+	for i := 0; i < flood; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp := postJSONTenant(t, env.srv.URL+"/api/v1/model/topology/word-count/performance?sync=true", "hog",
+				PerformanceRequest{SourceRateTPM: float64(20e6 + i)})
+			resp.Body.Close()
+			outcomes[i] = outcome{resp.StatusCode, resp.Header.Get("Retry-After")}
+		}(i)
+	}
+	// Wait until the flood has fully resolved into 2 queued + 4 shed.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := scheduler.Stats()
+		if st.Queued >= 2 && st.Sheds >= flood-2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("flood never saturated the queue: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The queue is deep and hog is over its share — but a different
+	// tenant is under its fair share and must still be admitted.
+	var fairWG sync.WaitGroup
+	fairWG.Add(1)
+	var fairStatus int
+	go func() {
+		defer fairWG.Done()
+		resp := postJSONTenant(t, env.srv.URL+"/api/v1/model/topology/word-count/performance?sync=true", "tenant-b",
+			PerformanceRequest{SourceRateTPM: 31e6})
+		resp.Body.Close()
+		fairStatus = resp.StatusCode
+	}()
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		if scheduler.Stats().Queued >= 3 {
+			break // tenant-b's run is in the queue
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("tenant-b was never admitted: %+v", scheduler.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	close(release)
+	blocker.Wait(context.Background())
+	wg.Wait()
+	fairWG.Wait()
+
+	var ok200, shed429 int
+	for i, o := range outcomes {
+		switch o.status {
+		case http.StatusOK:
+			ok200++
+		case http.StatusTooManyRequests:
+			shed429++
+			if o.retryAfter == "" {
+				t.Errorf("shed request %d carries no Retry-After header", i)
+			}
+		default:
+			t.Errorf("request %d status = %d; want 200 or 429", i, o.status)
+		}
+	}
+	if ok200 != 2 || shed429 != flood-2 {
+		t.Fatalf("flood outcomes: %d ok, %d shed; want 2 ok, %d shed", ok200, shed429, flood-2)
+	}
+	if fairStatus != http.StatusOK {
+		t.Fatalf("under-fair-share tenant-b status = %d; want 200 (not starved)", fairStatus)
+	}
+	// The outcomes are visible on the sched endpoint.
+	resp, err := http.Get(env.srv.URL + "/api/v1/sched")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := decode[SchedResponse](t, resp, http.StatusOK)
+	if sr.Scheduler.Sheds != uint64(flood-2) {
+		t.Fatalf("sched endpoint Sheds = %d; want %d", sr.Scheduler.Sheds, flood-2)
+	}
+	if sr.Scheduler.QueueLimit != 2 || sr.Scheduler.Workers != 1 {
+		t.Fatalf("sched endpoint shape = %+v", sr.Scheduler)
+	}
+}
+
+// TestTrackerUpdateEvictsExactlyChangedTopology: a tracker update
+// (packing-plan change) evicts the updated topology's cache entry and
+// no other, and the next predict recalibrates fresh.
+func TestTrackerUpdateEvictsExactlyChangedTopology(t *testing.T) {
+	env := newSchedEnv(t, nil)
+
+	// Warm word-count's entry, plus a synthetic sibling entry that must
+	// survive word-count's update untouched.
+	resp := postJSON(t, env.srv.URL+"/api/v1/model/topology/word-count/performance?sync=true", PerformanceRequest{SourceRateTPM: 30e6})
+	decode[PerformanceResponse](t, resp, http.StatusOK)
+	env.svc.calcache.Store("sibling", 1, env.cfg.CalibrationLookback, &core.TopologyModel{})
+	if env.svc.calcache.Len() != 2 {
+		t.Fatalf("cache entries = %d; want 2", env.svc.calcache.Len())
+	}
+
+	// Re-pack word-count onto 4 containers — a packing-plan change.
+	top, err := heron.WordCountTopology(8, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := topology.RoundRobinPack(top, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.tr.Update(top, plan); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := env.svc.calcache.Lookup("sibling", 1, env.cfg.CalibrationLookback); !ok {
+		t.Fatal("sibling entry wrongly evicted by word-count's update")
+	}
+	if env.svc.calcache.Len() != 1 {
+		t.Fatalf("cache entries after update = %d; want 1 (only sibling)", env.svc.calcache.Len())
+	}
+
+	// The next predict must recalibrate (fresh calibration, not cache).
+	resp2 := postJSON(t, env.srv.URL+"/api/v1/model/topology/word-count/performance?sync=true", PerformanceRequest{SourceRateTPM: 30e6})
+	decode[PerformanceResponse](t, resp2, http.StatusOK)
+	recs := env.led.List(audit.Filter{Topology: "word-count", Limit: 10})
+	if len(recs) != 2 {
+		t.Fatalf("audit records = %d; want 2", len(recs))
+	}
+	// List returns newest first: the post-update run recalibrated.
+	if recs[0].CachedCalibration {
+		t.Fatal("post-update predict was marked cache-served; want fresh calibration")
+	}
+
+	// A third, unchanged predict is cache-served and audited as such.
+	resp3 := postJSON(t, env.srv.URL+"/api/v1/model/topology/word-count/performance?sync=true", PerformanceRequest{SourceRateTPM: 30e6})
+	decode[PerformanceResponse](t, resp3, http.StatusOK)
+	recs = env.led.List(audit.Filter{Topology: "word-count", Limit: 10})
+	if !recs[0].CachedCalibration {
+		t.Fatal("warm predict not marked cache-served in the audit ledger")
+	}
+}
+
+// TestTrackerRemoveEvictsEntry: removing a topology drops its cache
+// entry through the same change hook.
+func TestTrackerRemoveEvictsEntry(t *testing.T) {
+	svc, srv, _ := testEnv(t)
+	resp := postJSON(t, srv.URL+"/api/v1/model/topology/word-count/performance?sync=true", PerformanceRequest{SourceRateTPM: 30e6})
+	decode[PerformanceResponse](t, resp, http.StatusOK)
+	if svc.calcache.Len() != 1 {
+		t.Fatalf("cache entries = %d; want 1", svc.calcache.Len())
+	}
+	if err := svc.tracker.Remove("word-count"); err != nil {
+		t.Fatal(err)
+	}
+	if svc.calcache.Len() != 0 {
+		t.Fatal("removed topology's cache entry survived")
+	}
+}
+
+// TestAsyncJobThroughScheduler: async jobs complete through the
+// scheduler's completion callback, not a dedicated goroutine.
+func TestAsyncJobThroughScheduler(t *testing.T) {
+	scheduler := sched.New(sched.Options{Workers: 2, QueueDepth: 16})
+	defer scheduler.Close()
+	env := newSchedEnv(t, scheduler)
+	resp := postJSON(t, env.srv.URL+"/api/v1/model/topology/word-count/performance", PerformanceRequest{SourceRateTPM: 30e6})
+	accepted := decode[map[string]any](t, resp, http.StatusAccepted)
+	jobID, _ := accepted["job_id"].(string)
+	if jobID == "" {
+		t.Fatalf("no job id in %v", accepted)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		jr, err := http.Get(env.srv.URL + "/api/v1/jobs/" + jobID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		job := decode[Job](t, jr, http.StatusOK)
+		if job.Status == JobDone {
+			break
+		}
+		if job.Status == JobFailed {
+			t.Fatalf("job failed: %s", job.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", job.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if scheduler.Stats().Runs == 0 {
+		t.Fatal("async job did not run through the scheduler")
+	}
+}

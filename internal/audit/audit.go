@@ -131,6 +131,12 @@ type Record struct {
 	// observe window had to be widened, or stayed sparse, because the
 	// metrics provider had gaps) — context for interpreting large APEs.
 	Degraded bool `json:"degraded,omitempty"`
+	// CachedCalibration marks runs served by the calibration cache (or
+	// a calibration another concurrent run performed) instead of a
+	// fresh fetch→calibrate pass of their own — context for both cache
+	// effectiveness and for tracing a bad prediction back to the
+	// calibration that produced it.
+	CachedCalibration bool `json:"cached_calibration,omitempty"`
 
 	// Calibration is the α/SP/ST/ψ snapshot the run was computed from
 	// (shared across records of one calibration — do not mutate).

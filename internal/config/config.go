@@ -28,6 +28,10 @@
 //	usage:
 //	  topk: 256
 //	  window_seconds: 900
+//	sched:
+//	  workers: 4
+//	  queue_depth: 64
+//	  cache_ttl_minutes: 10
 package config
 
 import (
@@ -86,6 +90,15 @@ type Config struct {
 	// UsageWindow is the trailing window /api/v1/usage ranks principals
 	// over.
 	UsageWindow time.Duration
+	// SchedWorkers is the model-run scheduler's worker-pool size
+	// (0 = max(2, GOMAXPROCS)).
+	SchedWorkers int
+	// SchedQueueDepth bounds the scheduler's admission queue; requests
+	// past it are shed with 429 + Retry-After.
+	SchedQueueDepth int
+	// CalCacheTTL is the calibration cache's entry lifetime
+	// (0 = entries only leave on tracker/packing invalidation).
+	CalCacheTTL time.Duration
 }
 
 // Default returns the configuration used when no file is given.
@@ -107,6 +120,9 @@ func Default() Config {
 		BlockProfileRate:     10000,
 		UsageTopK:            256,
 		UsageWindow:          15 * time.Minute,
+		SchedWorkers:         0, // auto: max(2, GOMAXPROCS)
+		SchedQueueDepth:      64,
+		CalCacheTTL:          10 * time.Minute,
 	}
 }
 
@@ -232,6 +248,26 @@ func Parse(src string) (Config, error) {
 		}
 	}
 
+	if sc, ok, err := section(doc, "sched"); err != nil {
+		return Config{}, err
+	} else if ok {
+		if v, ok, err := floatKey(sc, "workers"); err != nil {
+			return Config{}, err
+		} else if ok {
+			cfg.SchedWorkers = int(v)
+		}
+		if v, ok, err := floatKey(sc, "queue_depth"); err != nil {
+			return Config{}, err
+		} else if ok {
+			cfg.SchedQueueDepth = int(v)
+		}
+		if v, ok, err := floatKey(sc, "cache_ttl_minutes"); err != nil {
+			return Config{}, err
+		} else if ok {
+			cfg.CalCacheTTL = time.Duration(v * float64(time.Minute))
+		}
+	}
+
 	if c, ok, err := section(doc, "calibration"); err != nil {
 		return Config{}, err
 	} else if ok {
@@ -290,6 +326,15 @@ func (c Config) Validate() error {
 	}
 	if c.UsageWindow <= 0 {
 		return fmt.Errorf("config: non-positive usage window %s", c.UsageWindow)
+	}
+	if c.SchedWorkers < 0 {
+		return fmt.Errorf("config: negative sched workers %d", c.SchedWorkers)
+	}
+	if c.SchedQueueDepth < 0 {
+		return fmt.Errorf("config: negative sched queue depth %d", c.SchedQueueDepth)
+	}
+	if c.CalCacheTTL < 0 {
+		return fmt.Errorf("config: negative calibration cache ttl %s", c.CalCacheTTL)
 	}
 	return nil
 }

@@ -37,6 +37,7 @@ type Tracker struct {
 	mu         sync.RWMutex
 	topologies map[string]*Info
 	now        func() time.Time
+	onChange   []func(name string)
 }
 
 // New creates an empty tracker. now defaults to time.Now and is
@@ -76,26 +77,53 @@ func (tr *Tracker) Update(t *topology.Topology, plan *topology.PackingPlan) erro
 		return err
 	}
 	tr.mu.Lock()
-	defer tr.mu.Unlock()
 	prev, ok := tr.topologies[t.Name()]
 	if !ok {
+		tr.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrNotFound, t.Name())
 	}
 	if plan.Version <= prev.Plan.Version {
 		plan.Version = prev.Plan.Version + 1
 	}
 	tr.topologies[t.Name()] = &Info{Topology: t, Plan: plan, UpdatedAt: tr.now()}
+	tr.mu.Unlock()
+	tr.notify(t.Name())
 	return nil
+}
+
+// OnChange registers fn to be called (outside the tracker lock) with
+// the topology name after every Update or Remove — the hook dependent
+// caches invalidate through. Register is deliberately excluded: a new
+// topology has nothing cached yet.
+func (tr *Tracker) OnChange(fn func(name string)) {
+	if fn == nil {
+		return
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	tr.onChange = append(tr.onChange, fn)
+}
+
+// notify fires the change hooks. Must be called without tr.mu held.
+func (tr *Tracker) notify(name string) {
+	tr.mu.RLock()
+	hooks := tr.onChange
+	tr.mu.RUnlock()
+	for _, fn := range hooks {
+		fn(name)
+	}
 }
 
 // Remove deletes a topology.
 func (tr *Tracker) Remove(name string) error {
 	tr.mu.Lock()
-	defer tr.mu.Unlock()
 	if _, ok := tr.topologies[name]; !ok {
+		tr.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	delete(tr.topologies, name)
+	tr.mu.Unlock()
+	tr.notify(name)
 	return nil
 }
 

@@ -34,12 +34,27 @@ func (l Labels) canonical() string {
 	if len(l) == 0 {
 		return ""
 	}
-	keys := make([]string, 0, len(l))
-	for k := range l {
-		keys = append(keys, k)
+	// Label sets are tiny (node/instance/component — rarely past four
+	// keys), so a fixed stack buffer plus insertion sort beats the
+	// allocate-sort-build path on the Append hot path; the sized Grow
+	// leaves the builder's single buffer as the only allocation.
+	var buf [8]string
+	keys := buf[:0]
+	if len(l) > len(buf) {
+		keys = make([]string, 0, len(l))
 	}
-	sort.Strings(keys)
+	size := 2*len(l) - 1 // one '=' per pair, ',' between pairs
+	for k, v := range l {
+		keys = append(keys, k)
+		size += len(k) + len(v)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
 	var b strings.Builder
+	b.Grow(size)
 	for i, k := range keys {
 		if i > 0 {
 			b.WriteByte(',')

@@ -527,6 +527,11 @@ func scalarString(v any) string {
 	case int64:
 		return strconv.FormatInt(t, 10)
 	case float64:
+		if t == 0 {
+			// Negative zero would render "-0", which re-parses down the
+			// integer path as +0 — normalise so Marshal∘Parse is a fixpoint.
+			return "0"
+		}
 		return strconv.FormatFloat(t, 'g', -1, 64)
 	case string:
 		return quoteIfNeeded(t)

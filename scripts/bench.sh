@@ -21,9 +21,15 @@ SEED_SWEEP_NS=247852953
 
 echo "== micro benchmarks (${MICRO_TIME}) =="
 MICRO=$(go test -run '^$' \
-    -bench 'BenchmarkSimulatorMinute$|BenchmarkSimulatorMinuteWithInjector$|BenchmarkTSDBAppend$|BenchmarkTSDBAppendHandle$|BenchmarkLogRingAppend$|BenchmarkSLOEvaluateArmed$|BenchmarkUsageRecord$|BenchmarkMiddlewareRequest$|BenchmarkMiddlewareRequestAttributed$' \
+    -bench 'BenchmarkSimulatorMinute$|BenchmarkSimulatorMinuteWithInjector$|BenchmarkTSDBAppend$|BenchmarkTSDBAppendHandle$|BenchmarkLogRingAppend$|BenchmarkSLOEvaluateArmed$|BenchmarkUsageRecord$|BenchmarkMiddlewareRequest$|BenchmarkMiddlewareRequestAttributed$|BenchmarkPredictColdCache$|BenchmarkPredictWarmCache$|BenchmarkCoalescedPredict$' \
     -benchmem -benchtime "$MICRO_TIME" .)
 echo "$MICRO"
+
+echo "== scheduler benchmarks (${MICRO_TIME}) =="
+SCHED=$(go test -run '^$' \
+    -bench 'BenchmarkSchedulerSubmit$|BenchmarkCalCacheHit$' \
+    -benchmem -benchtime "$MICRO_TIME" ./internal/sched/)
+echo "$SCHED"
 
 echo "== sweep benchmarks (${SWEEP_COUNT} per parallelism) =="
 SWEEP=$(go test -run '^$' -bench 'BenchmarkSweepParallel' -benchtime "$SWEEP_COUNT" .)
@@ -60,6 +66,14 @@ MW_NS=$(pick "$MICRO" BenchmarkMiddlewareRequest 3)
 MW_ALLOCS=$(pick "$MICRO" BenchmarkMiddlewareRequest 7)
 MWATTR_NS=$(pick "$MICRO" BenchmarkMiddlewareRequestAttributed 3)
 MWATTR_ALLOCS=$(pick "$MICRO" BenchmarkMiddlewareRequestAttributed 7)
+COLD_NS=$(pick "$MICRO" BenchmarkPredictColdCache 3)
+WARM_NS=$(pick "$MICRO" BenchmarkPredictWarmCache 3)
+WARM_ALLOCS=$(pick "$MICRO" BenchmarkPredictWarmCache 7)
+COALESCED_NS=$(pick "$MICRO" BenchmarkCoalescedPredict 3)
+SUBMIT_NS=$(pick "$SCHED" BenchmarkSchedulerSubmit 3)
+SUBMIT_ALLOCS=$(pick "$SCHED" BenchmarkSchedulerSubmit 7)
+CALHIT_NS=$(pick "$SCHED" BenchmarkCalCacheHit 3)
+CALHIT_ALLOCS=$(pick "$SCHED" BenchmarkCalCacheHit 7)
 SWEEP1_NS=$(pick "$SWEEP" BenchmarkSweepParallel1 3)
 SWEEP8_NS=$(pick "$SWEEP" BenchmarkSweepParallel8 3)
 
@@ -84,7 +98,30 @@ cat > "$OUT" <<EOF
   },
   "tsdb_append": {
     "seed": {"ns_op": ${SEED_APPEND_NS}, "b_op": ${SEED_APPEND_B}, "allocs_op": ${SEED_APPEND_ALLOCS}},
-    "now":  {"ns_op": ${APPEND_NS}, "b_op": ${APPEND_B}, "allocs_op": ${APPEND_ALLOCS}}
+    "now":  {"ns_op": ${APPEND_NS}, "b_op": ${APPEND_B}, "allocs_op": ${APPEND_ALLOCS}},
+    "note": "canonical() now sorts on a stack buffer and sizes the builder exactly: 4 allocs/op at seed, 1 now; ns/op is machine-relative across recordings"
+  },
+  "predict_cache": {
+    "cold_ns_op": ${COLD_NS},
+    "warm_ns_op": ${WARM_NS},
+    "warm_allocs_op": ${WARM_ALLOCS},
+    "speedup": $(ratio "$COLD_NS" "$WARM_NS"),
+    "budget": "warm (calibration-cache hit) sync predict must be at least 5x faster than cold recalibration"
+  },
+  "coalesced_predict": {
+    "burst8_ns_op": ${COALESCED_NS},
+    "vs_8_warm_predicts": $(awk -v c="$COALESCED_NS" -v w="$WARM_NS" 'BEGIN { printf "%.2f", c / (8 * w) }'),
+    "note": "8 identical concurrent sync predicts through the scheduler; duplicates share the leader's in-flight run"
+  },
+  "sched_submit": {
+    "ns_op": ${SUBMIT_NS},
+    "allocs_op": ${SUBMIT_ALLOCS},
+    "note": "scheduler enqueue + admission + worker dispatch overhead per run"
+  },
+  "calcache_hit": {
+    "ns_op": ${CALHIT_NS},
+    "allocs_op": ${CALHIT_ALLOCS},
+    "budget": "cache-hit lookup must stay at 0 allocs/op"
   },
   "tsdb_append_handle": {
     "now": {"ns_op": ${HANDLE_NS}, "b_op": ${HANDLE_B}, "allocs_op": ${HANDLE_ALLOCS}},

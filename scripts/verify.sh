@@ -5,8 +5,10 @@
 # parallel sweep engine and the simulator it fans out, the audit
 # ledger with its background resolver, the incident flight recorder
 # with its capture worker, the usage accountant with its concurrent
-# top-K churn suite, and the chaos layer — whose invariant suite runs
-# its fixed 3-seed × every-fault-kind matrix under -race here), then a
+# top-K churn suite, the model-run scheduler with its coalescing and
+# calibration-cache churn suites, and the chaos layer — whose
+# invariant suite runs its fixed 3-seed × every-fault-kind matrix
+# under -race here), then a
 # short fuzz smoke over the two parsers that face untrusted input
 # (config YAML, API range queries).
 set -euo pipefail
@@ -25,6 +27,7 @@ go test -race ./internal/telemetry ./internal/api ./internal/tsdb
 go test -race ./internal/incident
 go test -race ./internal/audit
 go test -race ./internal/usage
+go test -race ./internal/sched
 go test -race ./internal/experiments ./internal/heron
 go test -race ./internal/chaos ./internal/metrics
 FUZZTIME="${VERIFY_FUZZTIME:-10s}"
