@@ -12,6 +12,7 @@
 package caladrius_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log/slog"
@@ -32,6 +33,7 @@ import (
 	"caladrius/internal/heron"
 	"caladrius/internal/incident"
 	"caladrius/internal/metrics"
+	"caladrius/internal/profiler"
 	"caladrius/internal/sched"
 	"caladrius/internal/telemetry"
 	"caladrius/internal/topology"
@@ -642,5 +644,46 @@ func BenchmarkPackingPlan(b *testing.B) {
 		if _, err := topology.RoundRobinPack(top, 16); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkPredictProfilerOff measures the warm-cache sync predict
+// path on a service without the continuous profiler — the baseline
+// for the profiler's serving-overhead budget.
+func BenchmarkPredictProfilerOff(b *testing.B) {
+	handler, _, _, _ := benchPredictEnv(b, api.Options{})
+	benchPredict(b, handler) // populate the calibration cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPredict(b, handler)
+	}
+}
+
+// BenchmarkPredictProfilerOn measures the same warm-cache predict path
+// while the continuous profiler runs its capture loop in the
+// background at the default 2.5% duty cycle, time-compressed so a
+// multi-second bench run spans many capture rounds (25ms CPU window
+// per 1s interval instead of 250ms per 10s). scripts/bench.sh records
+// the on/off ratio in BENCH_core.json; the budget is ≤1% overhead.
+func BenchmarkPredictProfilerOn(b *testing.B) {
+	prof, err := profiler.New(profiler.Options{
+		Registry:  telemetry.NewRegistry(),
+		Interval:  time.Second,
+		CPUWindow: 25 * time.Millisecond,
+		Epoch:     10 * time.Second,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go prof.Run(ctx)
+	handler, _, _, _ := benchPredictEnv(b, api.Options{Profiler: prof})
+	benchPredict(b, handler) // populate the calibration cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPredict(b, handler)
 	}
 }

@@ -36,6 +36,16 @@
 // else, and the ranked breakdown is served through /api/v1/usage (see
 // `calctl usage`); -usage-topk 0 disables accounting.
 //
+// An always-on continuous profiler captures CPU/heap/goroutine/mutex
+// pprof profiles every -profile-interval, folds them into per-function
+// tables over a bounded ring of epoch windows, and diffs the live
+// windows against a persisted baseline (-profile-baseline). The top
+// regressing function's flat-share delta is exported as
+// caladrius_profile_top_regression_delta, watched by the
+// profile-hot-function-regression SLO, and the full diff table rides
+// along in incident bundles. Served through /api/v1/profiles (see
+// `calctl profile`); -profile-interval 0 disables it.
+//
 // Model runs flow through a bounded worker-pool scheduler: identical
 // concurrent requests coalesce onto one run, calibrations are cached
 // per (topology, packing-plan version, lookback window) until a
@@ -51,6 +61,7 @@
 //	          [-audit-resolve-interval 15s] [-audit-retention 2h] [-audit-file caladrius-audit.json]
 //	          [-incident-dir caladrius-incidents] [-incident-retention 16] [-incident-cooldown 5m]
 //	          [-usage-topk 256] [-usage-window 15m] [-sched-workers 4] [-sched-queue 64] [-calcache-ttl 10m]
+//	          [-profile-interval 10s] [-profile-baseline caladrius-baseline.json] [-profile-topk 20]
 //
 // Then query it, e.g.:
 //
@@ -79,6 +90,7 @@ import (
 	"caladrius/internal/heron"
 	"caladrius/internal/incident"
 	"caladrius/internal/metrics"
+	"caladrius/internal/profiler"
 	"caladrius/internal/sched"
 	"caladrius/internal/telemetry"
 	"caladrius/internal/topology"
@@ -122,6 +134,9 @@ func run() error {
 	blockRate := flag.Int("block-profile-rate", -1, "sample blocking events of at least this many nanoseconds for incident block profiles; 0 disables, -1 uses the config value")
 	usageTopK := flag.Int("usage-topk", -1, "track at most this many (tenant, topology) usage principals, evicting into an 'other' rollup; 0 disables usage accounting, -1 uses the config value")
 	usageWindow := flag.Duration("usage-window", -1, "trailing window /api/v1/usage ranks principals over; -1 uses the config value")
+	profileInterval := flag.Duration("profile-interval", -1, "continuous profiler capture period; 0 disables the profiler, -1 uses the config value")
+	profileBaseline := flag.String("profile-baseline", "", "persist the profiling baseline snapshot to this file and reload it on boot")
+	profileTopK := flag.Int("profile-topk", -1, "default row count for profile top/diff/flame responses; -1 uses the config value")
 	schedWorkers := flag.Int("sched-workers", -1, "model-run scheduler worker pool size; 0 auto-sizes to max(2, GOMAXPROCS), -1 uses the config value")
 	schedQueue := flag.Int("sched-queue", -2, "model-run scheduler admission queue depth (excess sheds with 429); 0 disables the scheduler, -2 uses the config value")
 	calCacheTTL := flag.Duration("calcache-ttl", -1, "calibration cache entry lifetime; 0 keeps entries until invalidation, -1 uses the config value")
@@ -158,6 +173,12 @@ func run() error {
 	}
 	if *usageWindow >= 0 {
 		cfg.UsageWindow = *usageWindow
+	}
+	if *profileInterval >= 0 {
+		cfg.ProfileInterval = *profileInterval
+	}
+	if *profileTopK >= 0 {
+		cfg.ProfileTopK = *profileTopK
 	}
 	if *schedWorkers >= 0 {
 		cfg.SchedWorkers = *schedWorkers
@@ -303,10 +324,37 @@ func run() error {
 		scraper.AddCollector(ledger.Collector())
 	}
 
+	// Continuous profiler: an always-on sampling loop folding pprof
+	// captures into epoch windows, diffed against a persisted baseline.
+	// Its caladrius_profile_* gauges flow through the scraper like any
+	// other instrument, feeding the hot-function-regression SLO.
+	var prof *profiler.Profiler
+	if cfg.ProfileInterval > 0 {
+		prof, err = profiler.New(profiler.Options{
+			Registry:     reg,
+			Interval:     cfg.ProfileInterval,
+			CPUWindow:    cfg.ProfileCPUWindow,
+			Epoch:        cfg.ProfileEpoch,
+			Windows:      cfg.ProfileWindows,
+			TopK:         cfg.ProfileTopK,
+			BaselinePath: *profileBaseline,
+			Logger:       logger,
+		})
+		if err != nil {
+			return err
+		}
+		logger.Info("continuous profiler enabled", "interval", cfg.ProfileInterval,
+			"cpu_window", cfg.ProfileCPUWindow, "epoch", cfg.ProfileEpoch,
+			"windows", cfg.ProfileWindows)
+	}
+
 	if scraper != nil {
 		rules := telemetry.DefaultSLORules()
 		if ledger != nil {
 			rules = append(rules, telemetry.ModelAccuracyRules(*driftThreshold, *staleAfter, 0)...)
+		}
+		if prof != nil {
+			rules = append(rules, telemetry.ProfilerRules(cfg.ProfileRegressionDelta, 0)...)
 		}
 		slo, err = telemetry.NewSLO(history, reg, nil, rules)
 		if err != nil {
@@ -319,15 +367,24 @@ func run() error {
 	// bundle the moment a rule starts firing.
 	var recorder *incident.Recorder
 	if *incidentDir != "" {
+		var attachments []incident.Attachment
+		if prof != nil {
+			// Bundles from profiler-enabled daemons carry the baseline
+			// regression diff alongside the raw pprof captures.
+			attachments = append(attachments, incident.Attachment{
+				Name: "profile-diff.json", Capture: prof.DiffArtifact,
+			})
+		}
 		recorder, err = incident.New(incident.Options{
-			Dir:        *incidentDir,
-			Registry:   reg,
-			History:    history,
-			Logs:       logRing,
-			Tracer:     tracer,
-			Cooldown:   *incidentCooldown,
-			MaxBundles: *incidentRetention,
-			Logger:     logger,
+			Dir:         *incidentDir,
+			Registry:    reg,
+			History:     history,
+			Logs:        logRing,
+			Tracer:      tracer,
+			Cooldown:    *incidentCooldown,
+			MaxBundles:  *incidentRetention,
+			Logger:      logger,
+			Attachments: attachments,
 		})
 		if err != nil {
 			return err
@@ -390,6 +447,7 @@ func run() error {
 		SimTicks:    simTicks,
 		Scheduler:   scheduler,
 		CalCacheTTL: cfg.CalCacheTTL,
+		Profiler:    prof,
 	})
 	if err != nil {
 		return err
@@ -418,6 +476,9 @@ func run() error {
 	if ledger != nil {
 		logger.Info("audit resolver running", "interval", *auditResolveInterval, "retention", *auditRetention)
 		go ledger.Run(ctx.Done(), *auditResolveInterval)
+	}
+	if prof != nil {
+		go prof.Run(ctx)
 	}
 
 	logger.Info("caladrius listening", "addr", cfg.APIAddr, "topology", top.Name())

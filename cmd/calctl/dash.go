@@ -31,6 +31,7 @@ var dashPanels = []dashPanel{
 	{title: "goroutines", metric: "caladrius_go_goroutines", agg: "max", merge: "max", scale: 1, unit: ""},
 	{title: "backpressure", metric: "caladrius_sim_backpressure_active_instances", agg: "mean", merge: "sum", scale: 1, unit: "inst"},
 	{title: "model MAPE", metric: "caladrius_model_mape", agg: "last", merge: "max", scale: 100, unit: "%"},
+	{title: "prof Δhot", metric: "caladrius_profile_top_regression_delta", agg: "last", merge: "max", scale: 100, unit: "%"},
 	{title: "sched queue", metric: "caladrius_sched_queue_depth", agg: "max", merge: "max", scale: 1, unit: ""},
 	{title: "sheds", metric: "caladrius_sched_sheds_total:rate", agg: "mean", merge: "sum", scale: 60, unit: "sheds/min"},
 }

@@ -21,12 +21,14 @@
 //	accuracy [flags]                     model accuracy summary from the prediction audit ledger
 //	incidents [list|show <id>|capture]   browse incident flight-recorder bundles
 //	usage [flags]                        top (tenant, topology) principals by resource use
+//	profile [top|diff|baseline] [flags]  continuous-profiler hot functions and baseline diffs
 //
 // traffic flags:  -source-minutes N -horizon-minutes N -model NAME -sync
 // perf flags:     -rate TPM -p comp=N[,comp=N...] -forecast -sync
 // dash flags:     -interval 2s -window 5m -step 10s -iterations N -no-clear -width 60
 // accuracy flags: -topology NAME -model predict|plan -tenant NAME -limit N -raw
 // usage flags:    -by requests|errors|wall|cpu|allocs|ticks|runs -n N -raw
+// profile flags:  -kind cpu|heap|goroutine|mutex -n N -raw
 package main
 
 import (
@@ -106,6 +108,8 @@ func run(args []string) error {
 		return incidentsCmd(c, rest[1:])
 	case "usage":
 		return usageCmd(c, rest[1:])
+	case "profile":
+		return profileCmd(c, rest[1:])
 	default:
 		return fmt.Errorf("unknown command %q", rest[0])
 	}

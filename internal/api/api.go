@@ -27,6 +27,12 @@
 //	GET  /api/v1/incidents/{id}/artifacts/{name}          download an incident artifact
 //	POST /api/v1/incidents/capture                        capture an incident bundle now
 //	GET  /api/v1/usage                                    per-tenant usage accounting (see usage.go)
+//	GET  /api/v1/sched                                    model-run scheduler snapshot (see sched.go)
+//	GET  /api/v1/profiles                                 continuous profiler status (see profiles.go)
+//	GET  /api/v1/profiles/top                             hot functions over recent windows
+//	GET  /api/v1/profiles/diff                            regression diff vs the baseline
+//	GET  /api/v1/profiles/flame                           merged flame stacks
+//	POST /api/v1/profiles/baseline                        re-baseline at the current profile
 package api
 
 import (
@@ -50,6 +56,7 @@ import (
 	"caladrius/internal/graph"
 	"caladrius/internal/incident"
 	"caladrius/internal/metrics"
+	"caladrius/internal/profiler"
 	"caladrius/internal/sched"
 	"caladrius/internal/telemetry"
 	"caladrius/internal/tracker"
@@ -75,6 +82,7 @@ type Service struct {
 	audit       *audit.Ledger
 	incidents   *incident.Recorder
 	usage       *usage.Accountant
+	profiler    *profiler.Profiler
 	sampler     *core.CostSampler
 	httpInst    *httpInstruments
 	jobsRunning *telemetry.Gauge
@@ -136,6 +144,10 @@ type Options struct {
 	// model run is attributed to. Nil disables attribution and leaves
 	// /api/v1/usage answering 404.
 	Usage *usage.Accountant
+	// Profiler is the continuous profiler whose windows, diffs and
+	// flame stacks the profiles endpoints serve. Nil leaves
+	// /api/v1/profiles answering 404.
+	Profiler *profiler.Profiler
 	// SimTicks optionally supplies a monotonic simulator-tick total so
 	// model-run costs include the ticks they drove (the demo sim's
 	// caladrius_sim_ticks_total). Only read when Usage is set.
@@ -201,6 +213,7 @@ func NewService(cfg config.Config, tr *tracker.Tracker, provider metrics.Provide
 		audit:       opts.Audit,
 		incidents:   opts.Incidents,
 		usage:       opts.Usage,
+		profiler:    opts.Profiler,
 		sampler:     sampler,
 		httpInst:    newHTTPInstruments(reg),
 		jobsRunning: reg.Gauge("caladrius_jobs_running", nil),
@@ -249,6 +262,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/api/v1/incidents/", s.handleIncident)
 	mux.HandleFunc("/api/v1/usage", s.handleUsage)
 	mux.HandleFunc("/api/v1/sched", s.handleSched)
+	mux.HandleFunc("/api/v1/profiles", s.handleProfiles)
+	mux.HandleFunc("/api/v1/profiles/", s.handleProfiles)
 	return instrument(mux, s.httpInst, s.logger, s.usage)
 }
 

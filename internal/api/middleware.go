@@ -41,6 +41,11 @@ const (
 	routeIncidentArtifact = "/api/v1/incidents/{id}/artifacts/{name}"
 	routeUsage            = "/api/v1/usage"
 	routeSched            = "/api/v1/sched"
+	routeProfiles         = "/api/v1/profiles"
+	routeProfilesTop      = "/api/v1/profiles/top"
+	routeProfilesDiff     = "/api/v1/profiles/diff"
+	routeProfilesFlame    = "/api/v1/profiles/flame"
+	routeProfilesBaseline = "/api/v1/profiles/baseline"
 	routeOther            = "other"
 )
 
@@ -50,7 +55,10 @@ var allRoutes = []string{
 	routeGraph, routeQuery, routeJob, routeJobTrace,
 	routeQueryRange, routeAlerts, routeAudit, routeAuditRecord,
 	routeIncidents, routeIncidentCapture, routeIncident, routeIncidentArtifact,
-	routeUsage, routeSched, routeOther,
+	routeUsage, routeSched,
+	routeProfiles, routeProfilesTop, routeProfilesDiff,
+	routeProfilesFlame, routeProfilesBaseline,
+	routeOther,
 }
 
 // NoTopology is the topology value usage attribution charges requests
@@ -89,6 +97,16 @@ func routeInfo(path string) (pattern, topology string) {
 		return routeUsage, NoTopology
 	case routeSched:
 		return routeSched, NoTopology
+	case routeProfiles:
+		return routeProfiles, NoTopology
+	case routeProfilesTop:
+		return routeProfilesTop, NoTopology
+	case routeProfilesDiff:
+		return routeProfilesDiff, NoTopology
+	case routeProfilesFlame:
+		return routeProfilesFlame, NoTopology
+	case routeProfilesBaseline:
+		return routeProfilesBaseline, NoTopology
 	}
 	if rest, ok := strings.CutPrefix(path, "/api/v1/incidents/"); ok {
 		id, sub, hasSub := strings.Cut(rest, "/")

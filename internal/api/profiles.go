@@ -1,0 +1,132 @@
+package api
+
+import (
+	"net/http"
+	"strconv"
+
+	"caladrius/internal/profiler"
+)
+
+// The continuous-profiler surface: status, hot-function tables,
+// baseline regression diffs, and merged flame stacks over the recent
+// epoch windows. Like the other opt-in surfaces it answers 404 when
+// the daemon runs with the profiler disabled (-profile-interval 0) —
+// calctl uses that to print its "profiler disabled" notice.
+
+// ProfileTopResponse is the payload of GET /api/v1/profiles/top.
+type ProfileTopResponse struct {
+	Kind      profiler.Kind       `json:"kind"`
+	Unit      string              `json:"unit,omitempty"`
+	Total     int64               `json:"total"`
+	Samples   int64               `json:"samples"`
+	Functions []profiler.FuncStat `json:"functions"`
+}
+
+// ProfileFlameResponse is the payload of GET /api/v1/profiles/flame.
+type ProfileFlameResponse struct {
+	Kind   profiler.Kind        `json:"kind"`
+	Unit   string               `json:"unit,omitempty"`
+	Total  int64                `json:"total"`
+	Stacks []profiler.StackStat `json:"stacks"`
+}
+
+// ProfileDiffResponse is the payload of GET /api/v1/profiles/diff.
+// Baseline is null (and Diff empty) until the profiler's first epoch
+// window completes.
+type ProfileDiffResponse struct {
+	Baseline *profiler.BaselineMeta `json:"baseline"`
+	Diff     *profiler.Diff         `json:"diff"`
+}
+
+// profileParams parses the shared ?kind=&n= query parameters,
+// rejecting unknown parameters like the history endpoints do.
+func profileParams(w http.ResponseWriter, r *http.Request) (profiler.Kind, int, bool) {
+	q := r.URL.Query()
+	for key := range q {
+		if key != "kind" && key != "n" {
+			httpError(w, http.StatusBadRequest, "unknown parameter "+key)
+			return "", 0, false
+		}
+	}
+	kind := q.Get("kind")
+	if kind == "" {
+		kind = string(profiler.KindCPU)
+	}
+	if !profiler.ValidKind(kind) {
+		httpError(w, http.StatusBadRequest, "kind must be one of cpu|heap|goroutine|mutex")
+		return "", 0, false
+	}
+	n := 0 // 0 = server-side topk default
+	if raw := q.Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v <= 0 {
+			httpError(w, http.StatusBadRequest, "n must be a positive integer")
+			return "", 0, false
+		}
+		n = v
+	}
+	return profiler.Kind(kind), n, true
+}
+
+func (s *Service) handleProfiles(w http.ResponseWriter, r *http.Request) {
+	if s.profiler == nil {
+		httpError(w, http.StatusNotFound, "continuous profiler disabled: start the daemon with -profile-interval > 0")
+		return
+	}
+	switch r.URL.Path {
+	case routeProfiles:
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		writeJSON(w, http.StatusOK, s.profiler.Status())
+	case routeProfilesTop:
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		kind, n, ok := profileParams(w, r)
+		if !ok {
+			return
+		}
+		funcs, total, samples, unit := s.profiler.Top(kind, n)
+		writeJSON(w, http.StatusOK, ProfileTopResponse{
+			Kind: kind, Unit: unit, Total: total, Samples: samples, Functions: funcs,
+		})
+	case routeProfilesDiff:
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		kind, n, ok := profileParams(w, r)
+		if !ok {
+			return
+		}
+		st := s.profiler.Status()
+		writeJSON(w, http.StatusOK, ProfileDiffResponse{
+			Baseline: st.Baseline,
+			Diff:     s.profiler.DiffKind(kind, n),
+		})
+	case routeProfilesFlame:
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		kind, n, ok := profileParams(w, r)
+		if !ok {
+			return
+		}
+		stacks, total, unit := s.profiler.Flame(kind, n)
+		writeJSON(w, http.StatusOK, ProfileFlameResponse{
+			Kind: kind, Unit: unit, Total: total, Stacks: stacks,
+		})
+	case routeProfilesBaseline:
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "use POST")
+			return
+		}
+		writeJSON(w, http.StatusOK, s.profiler.SetBaseline())
+	default:
+		httpError(w, http.StatusNotFound, "want /api/v1/profiles[/top|/diff|/flame|/baseline]")
+	}
+}

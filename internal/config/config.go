@@ -28,6 +28,13 @@
 //	usage:
 //	  topk: 256
 //	  window_seconds: 900
+//	profiler:
+//	  interval_seconds: 10
+//	  cpu_window_ms: 250
+//	  epoch_seconds: 60
+//	  windows: 8
+//	  topk: 20
+//	  regression_delta: 0.2
 //	sched:
 //	  workers: 4
 //	  queue_depth: 64
@@ -90,6 +97,20 @@ type Config struct {
 	// UsageWindow is the trailing window /api/v1/usage ranks principals
 	// over.
 	UsageWindow time.Duration
+	// ProfileInterval is the continuous profiler's capture period;
+	// 0 disables the profiler (and /api/v1/profiles answers 404).
+	ProfileInterval time.Duration
+	// ProfileCPUWindow is how long each periodic CPU capture samples.
+	ProfileCPUWindow time.Duration
+	// ProfileEpoch is the width of one profiler fold window.
+	ProfileEpoch time.Duration
+	// ProfileWindows bounds the profiler's ring of completed windows.
+	ProfileWindows int
+	// ProfileTopK bounds function/stack lists served by default.
+	ProfileTopK int
+	// ProfileRegressionDelta is the profile-hot-function-regression SLO
+	// threshold: a fraction of total flat time (0.2 = 20 points).
+	ProfileRegressionDelta float64
 	// SchedWorkers is the model-run scheduler's worker-pool size
 	// (0 = max(2, GOMAXPROCS)).
 	SchedWorkers int
@@ -120,9 +141,18 @@ func Default() Config {
 		BlockProfileRate:     10000,
 		UsageTopK:            256,
 		UsageWindow:          15 * time.Minute,
-		SchedWorkers:         0, // auto: max(2, GOMAXPROCS)
-		SchedQueueDepth:      64,
-		CalCacheTTL:          10 * time.Minute,
+		// A 250ms CPU window every 10s is a 2.5% sampling duty cycle
+		// whose measured cost on the predict path stays under the 1%
+		// overhead budget (see BENCH_core.json).
+		ProfileInterval:        10 * time.Second,
+		ProfileCPUWindow:       250 * time.Millisecond,
+		ProfileEpoch:           time.Minute,
+		ProfileWindows:         8,
+		ProfileTopK:            20,
+		ProfileRegressionDelta: 0.20,
+		SchedWorkers:           0, // auto: max(2, GOMAXPROCS)
+		SchedQueueDepth:        64,
+		CalCacheTTL:            10 * time.Minute,
 	}
 }
 
@@ -248,6 +278,41 @@ func Parse(src string) (Config, error) {
 		}
 	}
 
+	if pr, ok, err := section(doc, "profiler"); err != nil {
+		return Config{}, err
+	} else if ok {
+		if v, ok, err := floatKey(pr, "interval_seconds"); err != nil {
+			return Config{}, err
+		} else if ok {
+			cfg.ProfileInterval = time.Duration(v * float64(time.Second))
+		}
+		if v, ok, err := floatKey(pr, "cpu_window_ms"); err != nil {
+			return Config{}, err
+		} else if ok {
+			cfg.ProfileCPUWindow = time.Duration(v * float64(time.Millisecond))
+		}
+		if v, ok, err := floatKey(pr, "epoch_seconds"); err != nil {
+			return Config{}, err
+		} else if ok {
+			cfg.ProfileEpoch = time.Duration(v * float64(time.Second))
+		}
+		if v, ok, err := floatKey(pr, "windows"); err != nil {
+			return Config{}, err
+		} else if ok {
+			cfg.ProfileWindows = int(v)
+		}
+		if v, ok, err := floatKey(pr, "topk"); err != nil {
+			return Config{}, err
+		} else if ok {
+			cfg.ProfileTopK = int(v)
+		}
+		if v, ok, err := floatKey(pr, "regression_delta"); err != nil {
+			return Config{}, err
+		} else if ok {
+			cfg.ProfileRegressionDelta = v
+		}
+	}
+
 	if sc, ok, err := section(doc, "sched"); err != nil {
 		return Config{}, err
 	} else if ok {
@@ -326,6 +391,28 @@ func (c Config) Validate() error {
 	}
 	if c.UsageWindow <= 0 {
 		return fmt.Errorf("config: non-positive usage window %s", c.UsageWindow)
+	}
+	if c.ProfileInterval < 0 {
+		return fmt.Errorf("config: negative profile interval %s", c.ProfileInterval)
+	}
+	if c.ProfileCPUWindow < 0 {
+		return fmt.Errorf("config: negative profile cpu window %s", c.ProfileCPUWindow)
+	}
+	if c.ProfileInterval > 0 && c.ProfileCPUWindow >= c.ProfileInterval {
+		return fmt.Errorf("config: profile cpu window %s must be shorter than the interval %s",
+			c.ProfileCPUWindow, c.ProfileInterval)
+	}
+	if c.ProfileEpoch < 0 {
+		return fmt.Errorf("config: negative profile epoch %s", c.ProfileEpoch)
+	}
+	if c.ProfileWindows < 0 {
+		return fmt.Errorf("config: negative profile windows %d", c.ProfileWindows)
+	}
+	if c.ProfileTopK < 0 {
+		return fmt.Errorf("config: negative profile topk %d", c.ProfileTopK)
+	}
+	if c.ProfileRegressionDelta < 0 || c.ProfileRegressionDelta > 1 {
+		return fmt.Errorf("config: profile regression delta %g outside [0, 1]", c.ProfileRegressionDelta)
 	}
 	if c.SchedWorkers < 0 {
 		return fmt.Errorf("config: negative sched workers %d", c.SchedWorkers)

@@ -87,6 +87,25 @@ func TestParseUsageSection(t *testing.T) {
 	}
 }
 
+func TestParseProfilerSection(t *testing.T) {
+	cfg, err := Parse("profiler:\n  interval_seconds: 0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.ProfileInterval != 0 {
+		t.Errorf("interval = %s, want 0 (disabled)", cfg.ProfileInterval)
+	}
+	cfg, err = Parse("profiler:\n  interval_seconds: 5\n  cpu_window_ms: 100\n  epoch_seconds: 30\n  windows: 4\n  topk: 7\n  regression_delta: 0.35\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.ProfileInterval != 5*time.Second || cfg.ProfileCPUWindow != 100*time.Millisecond ||
+		cfg.ProfileEpoch != 30*time.Second || cfg.ProfileWindows != 4 ||
+		cfg.ProfileTopK != 7 || cfg.ProfileRegressionDelta != 0.35 {
+		t.Errorf("profiler config = %+v", cfg)
+	}
+}
+
 func TestParsePartialKeepsDefaults(t *testing.T) {
 	cfg, err := Parse("api:\n  addr: \":1\"\n")
 	if err != nil {
@@ -123,6 +142,10 @@ func TestParseErrors(t *testing.T) {
 		{"profiling:\n  block_rate_ns: -1", "block profile rate"},
 		{"usage:\n  topk: -1", "usage topk"},
 		{"usage:\n  window_seconds: 0", "usage window"},
+		{"profiler:\n  interval_seconds: -1", "profile interval"},
+		{"profiler:\n  cpu_window_ms: 20000", "shorter than the interval"},
+		{"profiler:\n  windows: -2", "profile windows"},
+		{"profiler:\n  regression_delta: 1.5", "regression delta"},
 	}
 	for _, c := range cases {
 		_, err := Parse(c.src)

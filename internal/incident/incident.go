@@ -21,12 +21,12 @@ import (
 	"log/slog"
 	"os"
 	"path/filepath"
-	"runtime/pprof"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 
+	"caladrius/internal/profiler"
 	"caladrius/internal/telemetry"
 	"caladrius/internal/tsdb"
 )
@@ -53,6 +53,14 @@ const (
 	TriggerSLO    = "slo"
 	TriggerManual = "manual"
 )
+
+// Attachment is an extra artifact contributed to every bundle by
+// another subsystem: Capture is invoked at bundle time and its bytes
+// land in the bundle directory under Name.
+type Attachment struct {
+	Name    string
+	Capture func() ([]byte, error)
+}
 
 // Artifact describes one file of a bundle.
 type Artifact struct {
@@ -134,6 +142,11 @@ type Options struct {
 	SpanTraces int
 	// CPUProfile is how long the CPU profile samples. Default: 2s.
 	CPUProfile time.Duration
+	// Attachments are extra artifacts other subsystems contribute to
+	// every bundle (the continuous profiler attaches its hot-function
+	// diff table as profile-diff.json). A failing Capture becomes a
+	// manifest note, never a failed bundle.
+	Attachments []Attachment
 	// Now stamps captures and anchors the metrics window (fake clocks
 	// in tests). Default: time.Now.
 	Now func() time.Time
@@ -469,6 +482,24 @@ func (r *Recorder) capture(req captureReq) (Manifest, error) {
 		}
 	}
 
+	// Contributed attachments (e.g. the profiler's regression diff).
+	for _, att := range r.opts.Attachments {
+		if att.Name == "" || att.Capture == nil || strings.ContainsAny(att.Name, "/\\") {
+			note("attachment %q: invalid name or nil capture", att.Name)
+			continue
+		}
+		data, err := att.Capture()
+		if err != nil {
+			note("%s: %v", att.Name, err)
+			continue
+		}
+		if err := os.WriteFile(filepath.Join(dir, att.Name), data, 0o644); err != nil {
+			note("%s: %v", att.Name, err)
+			continue
+		}
+		addArtifact(att.Name)
+	}
+
 	// Logs + spans, collecting trace ids for the join.
 	logTraces := map[string]bool{}
 	if r.opts.Logs != nil {
@@ -585,32 +616,31 @@ func (r *Recorder) updateRetentionMetrics() {
 	r.diskBytes.Set(float64(bytes))
 }
 
+// writeCPUProfile and writeLookupProfile delegate to the shared
+// capture helpers in internal/profiler, so bundles and the continuous
+// profiler's periodic windows use the identical capture path (and the
+// same process-wide CPU-profile lock).
 func (r *Recorder) writeCPUProfile(path string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := pprof.StartCPUProfile(f); err != nil {
+	if err := profiler.CaptureCPUProfile(f, r.opts.CPUProfile); err != nil {
 		f.Close()
 		os.Remove(path)
 		return err
 	}
-	time.Sleep(r.opts.CPUProfile)
-	pprof.StopCPUProfile()
 	return f.Close()
 }
 
 func writeLookupProfile(path, profile string) error {
-	p := pprof.Lookup(profile)
-	if p == nil {
-		return fmt.Errorf("unknown profile %q", profile)
-	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := p.WriteTo(f, 0); err != nil {
+	if err := profiler.CaptureProfile(f, profile); err != nil {
 		f.Close()
+		os.Remove(path)
 		return err
 	}
 	return f.Close()

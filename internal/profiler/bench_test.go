@@ -1,0 +1,45 @@
+package profiler
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkProfilerFold measures the steady-state fold: a decoded
+// profile whose functions and stacks are already in the table. This
+// is the per-capture hot path of the always-on profiler; the budget
+// is 0 allocs/op.
+func BenchmarkProfilerFold(b *testing.B) {
+	stacks := make(map[string]int64, 64)
+	for i := 0; i < 64; i++ {
+		stacks[fmt.Sprintf("main;runtime.mcall;worker%d;inner%d", i%8, i)] = int64(100 + i)
+	}
+	data := cpuProfileBytes(b, true, stacks)
+	p, err := Parse(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tbl := NewTable()
+	tbl.Fold(p) // warm: every function and stack inserted once
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.Fold(p)
+	}
+}
+
+// BenchmarkPprofParse tracks the decode cost per capture.
+func BenchmarkPprofParse(b *testing.B) {
+	stacks := make(map[string]int64, 64)
+	for i := 0; i < 64; i++ {
+		stacks[fmt.Sprintf("main;runtime.mcall;worker%d;inner%d", i%8, i)] = int64(100 + i)
+	}
+	data := cpuProfileBytes(b, true, stacks)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

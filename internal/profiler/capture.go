@@ -1,0 +1,41 @@
+package profiler
+
+import (
+	"fmt"
+	"io"
+	"runtime/pprof"
+	"sync"
+	"time"
+)
+
+// cpuMu serializes CPU profile capture process-wide. The runtime
+// rejects a second concurrent StartCPUProfile, so without this the
+// continuous profiler's periodic windows and the incident flight
+// recorder's bundle captures would race and one of them would fail;
+// with it they simply take turns.
+var cpuMu sync.Mutex
+
+// CaptureCPUProfile samples the process CPU profile for window and
+// writes the gzipped pprof protobuf to w. It is the single capture
+// path shared by the continuous profiler and the incident recorder.
+func CaptureCPUProfile(w io.Writer, window time.Duration) error {
+	cpuMu.Lock()
+	defer cpuMu.Unlock()
+	if err := pprof.StartCPUProfile(w); err != nil {
+		return err
+	}
+	time.Sleep(window)
+	pprof.StopCPUProfile()
+	return nil
+}
+
+// CaptureProfile writes the named runtime snapshot profile (heap,
+// goroutine, mutex, block, threadcreate, ...) to w in pprof protobuf
+// format.
+func CaptureProfile(w io.Writer, name string) error {
+	p := pprof.Lookup(name)
+	if p == nil {
+		return fmt.Errorf("profiler: unknown profile %q", name)
+	}
+	return p.WriteTo(w, 0)
+}

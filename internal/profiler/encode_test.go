@@ -1,0 +1,168 @@
+package profiler
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"testing"
+)
+
+// Test-only pprof protobuf encoder: just enough of profile.proto to
+// build synthetic profiles for fold/diff tests and fuzz seeds. It is
+// deliberately independent of the reader (field-by-field appends) so
+// the two cannot share a bug.
+
+type encStack struct {
+	frames []string // leaf first, matching the wire format
+	value  int64
+}
+
+type encProfile struct {
+	sampleTypes [][2]string // {type, unit}
+	defaultType string
+	period      int64
+	stacks      []encStack
+	gzipped     bool
+}
+
+func appendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+func appendTag(b []byte, field, wire uint64) []byte {
+	return appendUvarint(b, field<<3|wire)
+}
+
+func appendBytesField(b []byte, field uint64, payload []byte) []byte {
+	b = appendTag(b, field, 2)
+	b = appendUvarint(b, uint64(len(payload)))
+	return append(b, payload...)
+}
+
+func appendVarintField(b []byte, field, v uint64) []byte {
+	b = appendTag(b, field, 0)
+	return appendUvarint(b, v)
+}
+
+// encode renders the profile. String table index 0 is "", per spec.
+func (ep *encProfile) encode(t testing.TB) []byte {
+	t.Helper()
+	strs := []string{""}
+	strIdx := map[string]uint64{"": 0}
+	intern := func(s string) uint64 {
+		if i, ok := strIdx[s]; ok {
+			return i
+		}
+		i := uint64(len(strs))
+		strs = append(strs, s)
+		strIdx[s] = i
+		return i
+	}
+
+	// Assign function and location IDs: one location per unique
+	// function name (no synthetic inlining).
+	funcID := map[string]uint64{}
+	var funcNames []string
+	for _, st := range ep.stacks {
+		for _, fr := range st.frames {
+			if _, ok := funcID[fr]; !ok {
+				funcID[fr] = uint64(len(funcNames) + 1)
+				funcNames = append(funcNames, fr)
+			}
+		}
+	}
+
+	var out []byte
+	for _, st := range ep.sampleTypes {
+		var vt []byte
+		vt = appendVarintField(vt, 1, intern(st[0]))
+		vt = appendVarintField(vt, 2, intern(st[1]))
+		out = appendBytesField(out, 1, vt)
+	}
+	for _, st := range ep.stacks {
+		var s []byte
+		// location_id: packed (runtime/pprof writes packed too)
+		var locs []byte
+		for _, fr := range st.frames {
+			locs = appendUvarint(locs, funcID[fr]) // location id == function id here
+		}
+		s = appendBytesField(s, 1, locs)
+		var vals []byte
+		for range ep.sampleTypes[:len(ep.sampleTypes)-1] {
+			vals = appendUvarint(vals, 0)
+		}
+		vals = appendUvarint(vals, uint64(st.value))
+		s = appendBytesField(s, 2, vals)
+		out = appendBytesField(out, 2, s)
+	}
+	for _, name := range funcNames {
+		id := funcID[name]
+		var loc []byte
+		loc = appendVarintField(loc, 1, id)
+		var line []byte
+		line = appendVarintField(line, 1, id)
+		loc = appendBytesField(loc, 4, line)
+		out = appendBytesField(out, 4, loc)
+
+		var fn []byte
+		fn = appendVarintField(fn, 1, id)
+		fn = appendVarintField(fn, 2, intern(name))
+		out = appendBytesField(out, 5, fn)
+	}
+	for _, s := range strs {
+		out = appendBytesField(out, 6, []byte(s))
+	}
+	if ep.period != 0 {
+		var vt []byte
+		vt = appendVarintField(vt, 1, intern("cpu"))
+		vt = appendVarintField(vt, 2, intern("nanoseconds"))
+		out = appendBytesField(out, 11, vt)
+		out = appendVarintField(out, 12, uint64(ep.period))
+	}
+	if ep.defaultType != "" {
+		out = appendVarintField(out, 14, intern(ep.defaultType))
+	}
+	if ep.gzipped {
+		var buf bytes.Buffer
+		zw := gzip.NewWriter(&buf)
+		if _, err := zw.Write(out); err != nil {
+			t.Fatalf("gzip: %v", err)
+		}
+		if err := zw.Close(); err != nil {
+			t.Fatalf("gzip close: %v", err)
+		}
+		return buf.Bytes()
+	}
+	return out
+}
+
+// cpuProfileBytes builds a synthetic CPU-shaped profile from
+// stack → nanoseconds pairs. Stacks are "root;mid;leaf" strings.
+func cpuProfileBytes(t testing.TB, gz bool, stacks map[string]int64) []byte {
+	t.Helper()
+	ep := encProfile{
+		sampleTypes: [][2]string{{"samples", "count"}, {"cpu", "nanoseconds"}},
+		period:      10_000_000,
+		gzipped:     gz,
+	}
+	for s, v := range stacks {
+		ep.stacks = append(ep.stacks, encStack{frames: splitReverse(s), value: v})
+	}
+	return ep.encode(t)
+}
+
+// splitReverse turns "root;mid;leaf" into leaf-first frames.
+func splitReverse(s string) []string {
+	var parts []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ';' {
+			parts = append(parts, s[start:i])
+			start = i + 1
+		}
+	}
+	for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+		parts[i], parts[j] = parts[j], parts[i]
+	}
+	return parts
+}

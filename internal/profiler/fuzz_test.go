@@ -1,0 +1,72 @@
+package profiler
+
+import (
+	"bytes"
+	"compress/gzip"
+	"testing"
+)
+
+// FuzzPprofParse throws arbitrary bytes at the pprof reader. The
+// contract under fuzzing: Parse never panics, and any profile it
+// accepts can be folded and queried without panicking. Crashers found
+// by fuzzing are committed under testdata/fuzz/FuzzPprofParse as
+// regression seeds, mirroring internal/yamlite.
+func FuzzPprofParse(f *testing.F) {
+	// Well-formed profile, raw and gzipped.
+	good := encProfile{
+		sampleTypes: [][2]string{{"samples", "count"}, {"cpu", "nanoseconds"}},
+		period:      10_000_000,
+		stacks: []encStack{
+			{frames: []string{"leaf", "mid", "root"}, value: 41},
+			{frames: []string{"other", "root"}, value: 1},
+		},
+	}
+	f.Add(good.encode(f)) //nolint — *testing.F satisfies the same Helper/Fatalf surface
+	gz := good
+	gz.gzipped = true
+	f.Add(gz.encode(f))
+	// Zero-sample profile.
+	empty := encProfile{sampleTypes: [][2]string{{"cpu", "nanoseconds"}}}
+	f.Add(empty.encode(f))
+	// Truncated varint mid-tag.
+	f.Add([]byte{0x08, 0xff})
+	// Oversized string-table reference on default_sample_type.
+	f.Add(appendVarintField(nil, 14, 1<<30))
+	// Length prefix pointing past the end of the buffer.
+	f.Add([]byte{0x12, 0x7f, 0x01})
+	// Packed repeated field that ends mid-varint.
+	var s []byte
+	s = appendBytesField(s, 1, []byte{0x80})
+	f.Add(appendBytesField(nil, 2, s))
+	// gzip header followed by garbage.
+	f.Add([]byte{0x1f, 0x8b, 0x08, 0x00, 0xff, 0xff})
+	// Valid gzip stream wrapping a truncated profile.
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	_, _ = zw.Write([]byte{0x2a, 0x01})
+	_ = zw.Close()
+	f.Add(buf.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Parse(data)
+		if err != nil {
+			return
+		}
+		if p == nil {
+			t.Fatal("Parse returned nil profile with nil error")
+		}
+		// Accepted profiles must fold and query cleanly.
+		tbl := NewTable()
+		tbl.Fold(p)
+		if tbl.Total < 0 {
+			t.Fatalf("folded negative total %d from accepted profile", tbl.Total)
+		}
+		tbl.Funcs(5)
+		tbl.Stacks(5)
+		merged := NewTable()
+		merged.Merge(tbl)
+		if merged.Total != tbl.Total || merged.Samples != tbl.Samples {
+			t.Fatalf("merge changed totals: %d/%d vs %d/%d", merged.Total, merged.Samples, tbl.Total, tbl.Samples)
+		}
+	})
+}

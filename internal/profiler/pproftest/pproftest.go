@@ -1,0 +1,115 @@
+// Package pproftest builds tiny synthetic pprof protobuf profiles for
+// tests in other packages (api handlers, calctl rendering, the
+// closed-loop e2e): deterministic function names and values without
+// depending on what the runtime happens to sample. It encodes
+// field-by-field, independent of the reader in internal/profiler, so
+// the two cannot share a bug.
+package pproftest
+
+import (
+	"encoding/binary"
+	"sort"
+)
+
+func appendTag(b []byte, field, wire uint64) []byte {
+	return binary.AppendUvarint(b, field<<3|wire)
+}
+
+func appendBytesField(b []byte, field uint64, payload []byte) []byte {
+	b = appendTag(b, field, 2)
+	b = binary.AppendUvarint(b, uint64(len(payload)))
+	return append(b, payload...)
+}
+
+func appendVarintField(b []byte, field, v uint64) []byte {
+	b = appendTag(b, field, 0)
+	return binary.AppendUvarint(b, v)
+}
+
+// CPUProfile renders a CPU-shaped pprof profile (sample types
+// samples/count + cpu/nanoseconds) from "root;mid;leaf" stack strings
+// mapped to nanosecond values. Output is the raw protobuf (ungzipped;
+// the reader accepts both).
+func CPUProfile(stacks map[string]int64) []byte {
+	// Deterministic encoding order for stable test fixtures.
+	keys := make([]string, 0, len(stacks))
+	for k := range stacks {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	strs := []string{""}
+	strIdx := map[string]uint64{"": 0}
+	intern := func(s string) uint64 {
+		if i, ok := strIdx[s]; ok {
+			return i
+		}
+		i := uint64(len(strs))
+		strs = append(strs, s)
+		strIdx[s] = i
+		return i
+	}
+	funcID := map[string]uint64{}
+	var funcNames []string
+	frames := func(stack string) []string {
+		// "root;mid;leaf" → leaf-first, matching the wire format.
+		var parts []string
+		start := 0
+		for i := 0; i <= len(stack); i++ {
+			if i == len(stack) || stack[i] == ';' {
+				parts = append(parts, stack[start:i])
+				start = i + 1
+			}
+		}
+		for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+			parts[i], parts[j] = parts[j], parts[i]
+		}
+		return parts
+	}
+	for _, stack := range keys {
+		for _, fr := range frames(stack) {
+			if _, ok := funcID[fr]; !ok {
+				funcID[fr] = uint64(len(funcNames) + 1)
+				funcNames = append(funcNames, fr)
+			}
+		}
+	}
+
+	var out []byte
+	for _, st := range [][2]string{{"samples", "count"}, {"cpu", "nanoseconds"}} {
+		var vt []byte
+		vt = appendVarintField(vt, 1, intern(st[0]))
+		vt = appendVarintField(vt, 2, intern(st[1]))
+		out = appendBytesField(out, 1, vt)
+	}
+	for _, stack := range keys {
+		var locs []byte
+		for _, fr := range frames(stack) {
+			locs = binary.AppendUvarint(locs, funcID[fr])
+		}
+		var s []byte
+		s = appendBytesField(s, 1, locs)
+		var vals []byte
+		vals = binary.AppendUvarint(vals, 1) // samples count
+		vals = binary.AppendUvarint(vals, uint64(stacks[stack]))
+		s = appendBytesField(s, 2, vals)
+		out = appendBytesField(out, 2, s)
+	}
+	for _, name := range funcNames {
+		id := funcID[name]
+		var line []byte
+		line = appendVarintField(line, 1, id)
+		var loc []byte
+		loc = appendVarintField(loc, 1, id)
+		loc = appendBytesField(loc, 4, line)
+		out = appendBytesField(out, 4, loc)
+		var fn []byte
+		fn = appendVarintField(fn, 1, id)
+		fn = appendVarintField(fn, 2, intern(name))
+		out = appendBytesField(out, 5, fn)
+	}
+	for _, s := range strs {
+		out = appendBytesField(out, 6, []byte(s))
+	}
+	return out
+}

@@ -320,6 +320,30 @@ func DefaultSLORules() []Rule {
 // topology's calibration may grow before the stale-calibration rule
 // fires. window bounds how far back each rule looks for its latest
 // value — size it to a few resolver cycles.
+// ProfilerRules returns the SLO rule fed by the continuous profiler's
+// caladrius_profile_* series: it fires when some function's share of
+// CPU flat time has regressed past deltaThreshold (a fraction of
+// total, so 0.2 = 20 percentage points) versus the profiling
+// baseline. The metric name is written out rather than imported so
+// telemetry stays dependency-free, mirroring ModelAccuracyRules.
+func ProfilerRules(deltaThreshold float64, window time.Duration) []Rule {
+	if window <= 0 {
+		window = 15 * time.Minute
+	}
+	return []Rule{
+		{
+			Name:        "profile-hot-function-regression",
+			Description: "a function's share of CPU flat time regressed past the budget versus the profiling baseline",
+			Metric:      "caladrius_profile_top_regression_delta",
+			Selector:    tsdb.Labels{"kind": "cpu"},
+			Agg:         tsdb.AggLast,
+			Window:      window,
+			Op:          OpGreater,
+			Threshold:   deltaThreshold,
+		},
+	}
+}
+
 func ModelAccuracyRules(mapeThreshold float64, staleAfter, window time.Duration) []Rule {
 	if window <= 0 {
 		window = 15 * time.Minute

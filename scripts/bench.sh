@@ -31,6 +31,16 @@ SCHED=$(go test -run '^$' \
     -benchmem -benchtime "$MICRO_TIME" ./internal/sched/)
 echo "$SCHED"
 
+echo "== profiler benchmarks (${MICRO_TIME}) =="
+PROF=$(go test -run '^$' -bench 'BenchmarkProfilerFold$' \
+    -benchmem -benchtime "$MICRO_TIME" ./internal/profiler/)
+echo "$PROF"
+# The profiler's serving overhead sits inside run-to-run noise, so the
+# on/off pair runs three times each and the ratio uses the minima.
+OVH=$(go test -run '^$' -bench 'BenchmarkPredictProfiler(Off|On)$' \
+    -benchtime "$MICRO_TIME" -count=3 .)
+echo "$OVH"
+
 echo "== sweep benchmarks (${SWEEP_COUNT} per parallelism) =="
 SWEEP=$(go test -run '^$' -bench 'BenchmarkSweepParallel' -benchtime "$SWEEP_COUNT" .)
 echo "$SWEEP"
@@ -39,6 +49,12 @@ echo "$SWEEP"
 # Fields: 3 = ns/op, 5 = B/op, 7 = allocs/op.
 pick() {
     echo "$1" | awk -v name="$2" -v f="$3" '$1 ~ "^"name"(-[0-9]+)?$" { print $f; exit }'
+}
+
+# pickmin <output> <name> <field>: minimum over repeated runs.
+pickmin() {
+    echo "$1" | awk -v name="$2" -v f="$3" \
+        '$1 ~ "^"name"(-[0-9]+)?$" { if (min == "" || $f + 0 < min) min = $f + 0 } END { print min }'
 }
 
 SIM_NS=$(pick "$MICRO" BenchmarkSimulatorMinute 3)
@@ -74,6 +90,11 @@ SUBMIT_NS=$(pick "$SCHED" BenchmarkSchedulerSubmit 3)
 SUBMIT_ALLOCS=$(pick "$SCHED" BenchmarkSchedulerSubmit 7)
 CALHIT_NS=$(pick "$SCHED" BenchmarkCalCacheHit 3)
 CALHIT_ALLOCS=$(pick "$SCHED" BenchmarkCalCacheHit 7)
+FOLD_NS=$(pick "$PROF" BenchmarkProfilerFold 3)
+FOLD_B=$(pick "$PROF" BenchmarkProfilerFold 5)
+FOLD_ALLOCS=$(pick "$PROF" BenchmarkProfilerFold 7)
+PROF_OFF_NS=$(pickmin "$OVH" BenchmarkPredictProfilerOff 3)
+PROF_ON_NS=$(pickmin "$OVH" BenchmarkPredictProfilerOn 3)
 SWEEP1_NS=$(pick "$SWEEP" BenchmarkSweepParallel1 3)
 SWEEP8_NS=$(pick "$SWEEP" BenchmarkSweepParallel8 3)
 
@@ -145,6 +166,19 @@ cat > "$OUT" <<EOF
     "overhead_vs_plain": $(ratio "$MWATTR_NS" "$MW_NS"),
     "extra_allocs_op": $((MWATTR_ALLOCS - MW_ALLOCS)),
     "note": "tenant attribution on the instrumented request path — header sanitisation, route-to-topology mapping, and the accountant pair"
+  },
+  "profiler_fold": {
+    "ns_op": ${FOLD_NS},
+    "b_op": ${FOLD_B},
+    "allocs_op": ${FOLD_ALLOCS},
+    "budget": "steady-state fold of a 64-stack profile into a warm table must stay at 0 allocs/op"
+  },
+  "profiler_serving_overhead": {
+    "predict_off_ns_op": ${PROF_OFF_NS},
+    "predict_on_ns_op": ${PROF_ON_NS},
+    "overhead_pct": $(awk -v on="$PROF_ON_NS" -v off="$PROF_OFF_NS" 'BEGIN { r = (on - off) / off * 100; if (r < 0) r = 0; printf "%.2f", r }'),
+    "budget": "profiler-on warm predict must stay within 1% of profiler-off",
+    "note": "capture loop runs at 10x time-compressed default duty (25ms CPU window per 1s interval vs 250ms per 10s); min of 3 runs each side; 0 means on was within noise of off"
   },
   "fig04_sweep": {
     "seed_sequential_ns": ${SEED_SWEEP_NS},

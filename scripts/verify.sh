@@ -6,11 +6,12 @@
 # ledger with its background resolver, the incident flight recorder
 # with its capture worker, the usage accountant with its concurrent
 # top-K churn suite, the model-run scheduler with its coalescing and
-# calibration-cache churn suites, and the chaos layer — whose
-# invariant suite runs its fixed 3-seed × every-fault-kind matrix
-# under -race here), then a
-# short fuzz smoke over the two parsers that face untrusted input
-# (config YAML, API range queries).
+# calibration-cache churn suites, the continuous profiler with its
+# concurrent capture/query/baseline-swap suite, and the chaos layer —
+# whose invariant suite runs its fixed 3-seed × every-fault-kind
+# matrix under -race here), then a
+# short fuzz smoke over the three parsers that face untrusted input
+# (config YAML, API range queries, pprof protobuf profiles).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,7 +31,9 @@ go test -race ./internal/usage
 go test -race ./internal/sched
 go test -race ./internal/experiments ./internal/heron
 go test -race ./internal/chaos ./internal/metrics
+go test -race ./internal/profiler
 FUZZTIME="${VERIFY_FUZZTIME:-10s}"
 go test -run '^$' -fuzz '^FuzzParse$' -fuzztime "$FUZZTIME" ./internal/yamlite
 go test -run '^$' -fuzz '^FuzzParseQueryRange$' -fuzztime "$FUZZTIME" ./internal/api
+go test -run '^$' -fuzz '^FuzzPprofParse$' -fuzztime "$FUZZTIME" ./internal/profiler
 echo "verify: all checks passed"
