@@ -1,0 +1,271 @@
+// Command caladriusbench is the sustained-load and soak harness for
+// the Caladrius serving tier. It drives a daemon's HTTP API with a
+// configurable operation mix (predict/plan/query_range/audit/usage),
+// open- or closed-loop arrival on a deterministic seeded schedule,
+// multi-tenant header rotation, and optional ramps and flash crowds,
+// recording latencies into HDR-style buckets and emitting
+// machine-readable results to BENCH_api.json (alongside bench.sh's
+// BENCH_core.json).
+//
+// With no -target it wires a full daemon in-process (demo simulator,
+// scheduler, audit ledger, usage accountant, self-monitoring scraper
+// and SLO evaluator) and loads that, so a single command produces an
+// end-to-end serving-tier result:
+//
+//	go run ./cmd/caladriusbench -duration 10s -concurrency 8
+//
+// Soak mode additionally fires a chaos fault plan (internal/chaos)
+// while the load runs and asserts at exit that the self-monitoring
+// SLOs returned to green, every response was accounted for, and no
+// goroutines or heap leaked — exiting non-zero otherwise:
+//
+//	go run ./cmd/caladriusbench -soak -duration 10s
+//
+// Examples:
+//
+//	caladriusbench -mode open -rate 80 -ramp 5s -flash '10s:3s:4' -duration 20s
+//	caladriusbench -target http://localhost:8642 -mix 'predict=70,query_range=30'
+//	caladriusbench -soak -chaos-plan plan.json -slo-window 5s -o -
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"caladrius/internal/bench"
+	"caladrius/internal/chaos"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "caladriusbench:", err)
+		os.Exit(1)
+	}
+}
+
+// output is the BENCH_api.json document.
+type output struct {
+	Kind       string            `json:"kind"` // "load" or "soak"
+	Config     runConfig         `json:"config"`
+	Results    bench.Report      `json:"results"`
+	Overruns   uint64            `json:"open_loop_overruns,omitempty"`
+	Soak       *bench.SoakResult `json:"soak,omitempty"`
+	Contention map[string]any    `json:"contention,omitempty"`
+}
+
+type runConfig struct {
+	Target      string  `json:"target"`
+	Mode        string  `json:"mode"`
+	Mix         string  `json:"mix"`
+	RateRPS     float64 `json:"rate_rps,omitempty"`
+	Concurrency int     `json:"concurrency,omitempty"`
+	DurationSec float64 `json:"duration_seconds"`
+	Seed        int64   `json:"seed"`
+	Tenants     int     `json:"tenants"`
+	RampSec     float64 `json:"ramp_seconds,omitempty"`
+	Flash       string  `json:"flash,omitempty"`
+}
+
+func run() error {
+	target := flag.String("target", "", "base URL of a running daemon; empty wires a daemon in-process")
+	mode := flag.String("mode", "closed", "arrival mode: open (rate-driven Poisson) or closed (fixed worker population)")
+	rate := flag.Float64("rate", 50, "open-loop target arrival rate, requests/second")
+	concurrency := flag.Int("concurrency", 8, "closed-loop worker population")
+	duration := flag.Duration("duration", 30*time.Second, "load phase length")
+	seed := flag.Int64("seed", 1, "schedule seed; same seed, same schedule")
+	mixSpec := flag.String("mix", bench.DefaultMixSpec, "operation mix, op=weight[,op=weight...]; ops: "+strings.Join(bench.KnownOps(), ", "))
+	tenantN := flag.Int("tenants", 4, "distinct tenants to rotate through the "+bench.TenantHeader+" header")
+	ramp := flag.Duration("ramp", 0, "open-loop linear ramp-up from zero to -rate")
+	flash := flag.String("flash", "", "open-loop flash crowds, at:duration:factor[;...] e.g. '10s:3s:4'")
+	topo := flag.String("topology", "word-count", "topology name model operations target")
+	simRate := flag.Float64("sim-rate", 6e6, "in-process demo sim source rate, tuples/minute")
+	warmMinutes := flag.Int("warm-minutes", 8, "in-process demo sim warm history, minutes")
+	soak := flag.Bool("soak", false, "soak mode: in-process daemon + chaos plan under load, SLO-green and leak assertions at exit")
+	chaosPlan := flag.String("chaos-plan", "", "soak chaos plan JSON file; empty uses a metrics-outage over the middle of the run")
+	sloWindow := flag.Duration("slo-window", 5*time.Second, "soak SLO rule window")
+	scrapeInterval := flag.Duration("scrape-interval", 500*time.Millisecond, "soak self-monitoring scrape period")
+	settle := flag.Duration("settle", 0, "soak post-load SLO-resolve bound; 0 auto-sizes to max(15s, 3×slo-window)")
+	contention := flag.String("contention", "", "k=v[,k=v...] contention before/after numbers to embed verbatim (bench.sh supplies these)")
+	out := flag.String("o", "BENCH_api.json", "output path; - writes to stdout")
+	flag.Parse()
+
+	mix, err := bench.ParseMix(*mixSpec)
+	if err != nil {
+		return err
+	}
+	tenants := make([]string, *tenantN)
+	for i := range tenants {
+		tenants[i] = "tenant-" + strconv.Itoa(i)
+	}
+	doc := output{
+		Config: runConfig{
+			Target:      *target,
+			Mode:        *mode,
+			Mix:         mix.String(),
+			DurationSec: duration.Seconds(),
+			Seed:        *seed,
+			Tenants:     *tenantN,
+			Flash:       *flash,
+		},
+	}
+	if doc.Contention, err = parseContention(*contention); err != nil {
+		return err
+	}
+
+	soakFailed := false
+	if *soak {
+		doc.Kind = "soak"
+		doc.Config.Mode = string(bench.ClosedLoop)
+		doc.Config.Concurrency = *concurrency
+		var plan *chaos.Plan
+		if *chaosPlan != "" {
+			data, err := os.ReadFile(*chaosPlan)
+			if err != nil {
+				return err
+			}
+			if plan, err = chaos.ParsePlan(data); err != nil {
+				return err
+			}
+		}
+		res, err := bench.RunSoak(bench.SoakConfig{
+			Duration:       *duration,
+			Mix:            mix,
+			Concurrency:    *concurrency,
+			Seed:           *seed,
+			Tenants:        tenants,
+			Plan:           plan,
+			SLOWindow:      *sloWindow,
+			ScrapeInterval: *scrapeInterval,
+			Settle:         *settle,
+			RateTPM:        *simRate,
+			WarmMinutes:    *warmMinutes,
+		})
+		if err != nil {
+			return err
+		}
+		doc.Results = res.Report
+		doc.Soak = res
+		soakFailed = !res.Passed()
+		for _, f := range res.Failures {
+			fmt.Fprintln(os.Stderr, "caladriusbench: soak FAIL:", f)
+		}
+	} else {
+		doc.Kind = "load"
+		flashes, err := bench.ParseFlash(*flash)
+		if err != nil {
+			return err
+		}
+		cfg := bench.ScheduleConfig{
+			Mode:        bench.Arrival(*mode),
+			Mix:         mix,
+			Rate:        *rate,
+			Concurrency: *concurrency,
+			Duration:    *duration,
+			Seed:        *seed,
+			Tenants:     tenants,
+			RampUp:      *ramp,
+			Flash:       flashes,
+		}
+		if cfg.Mode == bench.OpenLoop {
+			doc.Config.RateRPS = *rate
+			doc.Config.RampSec = ramp.Seconds()
+		} else {
+			doc.Config.Concurrency = *concurrency
+		}
+		schedule, err := bench.Generate(cfg)
+		if err != nil {
+			return err
+		}
+		base := *target
+		var teardown func()
+		if base == "" {
+			d, err := bench.StartDaemon(bench.DaemonOptions{
+				RateTPM:        *simRate,
+				WarmMinutes:    *warmMinutes,
+				ScrapeInterval: *scrapeInterval,
+				SLOWindow:      *sloWindow,
+			})
+			if err != nil {
+				return err
+			}
+			scrapeCtx, stopScraper := context.WithCancel(context.Background())
+			go d.Scraper.Run(scrapeCtx)
+			base = d.URL
+			teardown = func() {
+				stopScraper()
+				_ = d.Close()
+			}
+		}
+		client := &http.Client{Timeout: 30 * time.Second}
+		runner, err := bench.NewRunner(schedule, bench.RunnerOptions{
+			BaseURL:  base,
+			Client:   client,
+			Topology: *topo,
+		})
+		if err != nil {
+			if teardown != nil {
+				teardown()
+			}
+			return err
+		}
+		report, err := runner.Run(context.Background())
+		if teardown != nil {
+			client.CloseIdleConnections()
+			teardown()
+		}
+		if err != nil {
+			return err
+		}
+		doc.Results = report
+		doc.Overruns = runner.Overruns()
+	}
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(data)
+	} else {
+		err = os.WriteFile(*out, data, 0o644)
+		if err == nil {
+			fmt.Fprintln(os.Stderr, "caladriusbench: wrote", *out)
+		}
+	}
+	if err != nil {
+		return err
+	}
+	if soakFailed {
+		os.Exit(2)
+	}
+	return nil
+}
+
+// parseContention parses "k=v,k=v" into a JSON object, keeping numeric
+// values as numbers so BENCH_api.json consumers can diff them.
+func parseContention(spec string) (map[string]any, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	out := map[string]any{}
+	for _, part := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || k == "" {
+			return nil, fmt.Errorf("bad -contention entry %q (want k=v)", part)
+		}
+		if f, err := strconv.ParseFloat(v, 64); err == nil {
+			out[k] = f
+		} else {
+			out[k] = v
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,163 @@
+// Package bench is the sustained-load and soak harness behind
+// cmd/caladriusbench. It generates deterministic request schedules
+// (open- or closed-loop arrival, ramps, flash crowds, multi-tenant
+// rotation) against a live daemon's HTTP API, records latencies into
+// HDR-style log-spaced buckets, and — in soak mode — runs an
+// in-process daemon under load while chaos fault plans fire, asserting
+// at exit that the self-monitoring SLOs returned to green and nothing
+// leaked. The workload-mix methodology follows PDSP-Bench: a load
+// number only means something relative to a stated operation mix and
+// arrival process, so both are explicit, seedable inputs that are
+// echoed into BENCH_api.json.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Operations the harness can issue. Each maps to one API route; see
+// Runner.
+const (
+	OpPredict    = "predict"     // POST /api/v1/model/topology/{t}/performance?sync=true
+	OpPlan       = "plan"        // POST /api/v1/model/topology/{t}/suggest?sync=true
+	OpQueryRange = "query_range" // GET  /api/v1/query_range
+	OpAudit      = "audit"       // GET  /api/v1/audit
+	OpUsage      = "usage"       // GET  /api/v1/usage
+)
+
+// knownOps is the closed set of operations a mix may reference, in
+// canonical order.
+var knownOps = []string{OpPredict, OpPlan, OpQueryRange, OpAudit, OpUsage}
+
+// DefaultMixSpec is the standard mix bench.sh runs: model-heavy with a
+// steady read side, shaped like a dashboard-plus-planner tenant
+// population.
+const DefaultMixSpec = "predict=40,plan=10,query_range=30,audit=10,usage=10"
+
+// Mix is a validated weighted operation mix.
+type Mix struct {
+	ops     []string // canonical order, only ops with weight > 0
+	weights []int
+	total   int
+}
+
+// ParseMix parses "op=weight,op=weight" into a Mix. Weights are
+// positive integers; unknown operations and malformed entries are
+// rejected with errors naming the valid set.
+func ParseMix(spec string) (Mix, error) {
+	if strings.TrimSpace(spec) == "" {
+		return Mix{}, fmt.Errorf("bench: empty mix; want e.g. %q", DefaultMixSpec)
+	}
+	weights := map[string]int{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		op, val, ok := strings.Cut(part, "=")
+		op = strings.TrimSpace(op)
+		if !ok {
+			return Mix{}, fmt.Errorf("bench: mix entry %q is not op=weight", part)
+		}
+		known := false
+		for _, k := range knownOps {
+			if op == k {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return Mix{}, fmt.Errorf("bench: unknown operation %q; valid operations: %s", op, strings.Join(knownOps, ", "))
+		}
+		w, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil {
+			return Mix{}, fmt.Errorf("bench: mix weight for %q must be an integer, got %q", op, val)
+		}
+		if w < 0 {
+			return Mix{}, fmt.Errorf("bench: mix weight for %q must be >= 0, got %d", op, w)
+		}
+		if _, dup := weights[op]; dup {
+			return Mix{}, fmt.Errorf("bench: operation %q appears twice in mix", op)
+		}
+		weights[op] = w
+	}
+	m := Mix{}
+	for _, op := range knownOps {
+		if w := weights[op]; w > 0 {
+			m.ops = append(m.ops, op)
+			m.weights = append(m.weights, w)
+			m.total += w
+		}
+	}
+	if m.total == 0 {
+		return Mix{}, fmt.Errorf("bench: mix %q has no positive weights", spec)
+	}
+	return m, nil
+}
+
+// MustMix is ParseMix for known-good literals; it panics on error.
+func MustMix(spec string) Mix {
+	m, err := ParseMix(spec)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Ops returns the operations with positive weight, canonical order.
+func (m Mix) Ops() []string { return append([]string(nil), m.ops...) }
+
+// Weight returns op's weight (0 when absent).
+func (m Mix) Weight(op string) int {
+	for i, o := range m.ops {
+		if o == op {
+			return m.weights[i]
+		}
+	}
+	return 0
+}
+
+// pick maps a value in [0, total) to an operation — the schedule
+// generator feeds it deterministic variates.
+func (m Mix) pick(v int) string {
+	for i, w := range m.weights {
+		if v < w {
+			return m.ops[i]
+		}
+		v -= w
+	}
+	return m.ops[len(m.ops)-1]
+}
+
+// Total returns the sum of weights.
+func (m Mix) Total() int { return m.total }
+
+// String renders the canonical spec ("op=w,op=w" in canonical op
+// order), suitable for re-parsing and for the BENCH_api.json echo.
+func (m Mix) String() string {
+	parts := make([]string, len(m.ops))
+	for i, op := range m.ops {
+		parts[i] = op + "=" + strconv.Itoa(m.weights[i])
+	}
+	return strings.Join(parts, ",")
+}
+
+// Fractions returns each op's share of the total, for reports.
+func (m Mix) Fractions() map[string]float64 {
+	out := make(map[string]float64, len(m.ops))
+	for i, op := range m.ops {
+		out[op] = float64(m.weights[i]) / float64(m.total)
+	}
+	return out
+}
+
+// KnownOps returns the closed operation set, for error messages and
+// docs.
+func KnownOps() []string {
+	out := append([]string(nil), knownOps...)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseMixTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		spec    string
+		wantErr string // substring; empty = success
+		want    string // canonical String() on success
+		total   int
+	}{
+		{name: "default", spec: DefaultMixSpec, want: "predict=40,plan=10,query_range=30,audit=10,usage=10", total: 100},
+		{name: "single op", spec: "predict=1", want: "predict=1", total: 1},
+		{name: "whitespace tolerated", spec: " predict = 3 , usage = 1 ", want: "predict=3,usage=1", total: 4},
+		{name: "zero weight dropped", spec: "predict=5,audit=0", want: "predict=5", total: 5},
+		{name: "non-canonical order canonicalised", spec: "usage=1,predict=2", want: "predict=2,usage=1", total: 3},
+		{name: "empty spec", spec: "", wantErr: "empty mix"},
+		{name: "all zero weights", spec: "predict=0,plan=0", wantErr: "no positive weights"},
+		{name: "unknown op", spec: "predict=1,delete=2", wantErr: `unknown operation "delete"`},
+		{name: "unknown op lists valid set", spec: "frobnicate=1", wantErr: "valid operations: predict, plan, query_range, audit, usage"},
+		{name: "missing equals", spec: "predict", wantErr: "not op=weight"},
+		{name: "non-integer weight", spec: "predict=fast", wantErr: "must be an integer"},
+		{name: "negative weight", spec: "predict=-3", wantErr: "must be >= 0"},
+		{name: "duplicate op", spec: "predict=1,predict=2", wantErr: "appears twice"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := ParseMix(tc.spec)
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("ParseMix(%q) = %v, want error containing %q", tc.spec, m, tc.wantErr)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("ParseMix(%q) error = %q, want it to contain %q", tc.spec, err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParseMix(%q): %v", tc.spec, err)
+			}
+			if got := m.String(); got != tc.want {
+				t.Errorf("canonical form = %q, want %q", got, tc.want)
+			}
+			if m.Total() != tc.total {
+				t.Errorf("total = %d, want %d", m.Total(), tc.total)
+			}
+		})
+	}
+}
+
+func TestMixRoundTrip(t *testing.T) {
+	m := MustMix("plan=7,query_range=2")
+	again, err := ParseMix(m.String())
+	if err != nil {
+		t.Fatalf("re-parsing canonical form: %v", err)
+	}
+	if again.String() != m.String() {
+		t.Fatalf("round trip changed the mix: %q vs %q", again.String(), m.String())
+	}
+}
+
+func TestMixPickCoversAllOpsProportionally(t *testing.T) {
+	m := MustMix("predict=3,usage=1")
+	counts := map[string]int{}
+	for v := 0; v < m.Total(); v++ {
+		counts[m.pick(v)]++
+	}
+	if counts[OpPredict] != 3 || counts[OpUsage] != 1 {
+		t.Fatalf("pick distribution over one weight cycle = %v, want predict:3 usage:1", counts)
+	}
+}
+
+func TestMixFractions(t *testing.T) {
+	f := MustMix("predict=1,plan=3").Fractions()
+	if f[OpPredict] != 0.25 || f[OpPlan] != 0.75 {
+		t.Fatalf("fractions = %v", f)
+	}
+}

@@ -1,0 +1,232 @@
+package bench
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Latency buckets are log-spaced from latFloor with latGrowth per
+// step — an HDR-histogram-style layout: ~5% relative quantile error,
+// fixed memory, lock-held time independent of observation count.
+const (
+	latFloor   = 50 * time.Microsecond
+	latGrowth  = 1.12
+	latBuckets = 160 // covers 50µs … >3min
+)
+
+// bucketFor maps a latency to its bucket index.
+func bucketFor(d time.Duration) int {
+	if d <= latFloor {
+		return 0
+	}
+	i := int(math.Log(float64(d)/float64(latFloor)) / math.Log(latGrowth))
+	if i >= latBuckets {
+		return latBuckets - 1
+	}
+	return i
+}
+
+// bucketUpper is the upper bound of bucket i.
+func bucketUpper(i int) time.Duration {
+	return time.Duration(float64(latFloor) * math.Pow(latGrowth, float64(i+1)))
+}
+
+// opStats accumulates one operation's outcomes.
+type opStats struct {
+	count     uint64
+	hist      [latBuckets]uint64
+	sum       time.Duration
+	min, max  time.Duration
+	status2xx uint64
+	status4xx uint64
+	status5xx uint64
+	shed429   uint64 // subset of 4xx: admission-control sheds
+	unav503   uint64 // subset of 5xx: backend unavailable
+	transport uint64 // connection/transport failures (no status code)
+	other     uint64 // status outside 2xx/4xx/5xx (unaccounted classes)
+}
+
+// Recorder accumulates request outcomes across operations. Safe for
+// concurrent use; Record holds the lock for a constant amount of work.
+type Recorder struct {
+	mu    sync.Mutex
+	ops   map[string]*opStats
+	start time.Time
+	end   time.Time
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{ops: map[string]*opStats{}}
+}
+
+// Start stamps the measurement window opening.
+func (r *Recorder) Start(t time.Time) {
+	r.mu.Lock()
+	r.start = t
+	r.mu.Unlock()
+}
+
+// Finish stamps the measurement window close.
+func (r *Recorder) Finish(t time.Time) {
+	r.mu.Lock()
+	r.end = t
+	r.mu.Unlock()
+}
+
+// Record logs one request outcome. status 0 means the request failed
+// at the transport layer (no HTTP response).
+func (r *Recorder) Record(op string, status int, d time.Duration) {
+	r.mu.Lock()
+	st, ok := r.ops[op]
+	if !ok {
+		st = &opStats{min: time.Duration(math.MaxInt64)}
+		r.ops[op] = st
+	}
+	st.count++
+	st.hist[bucketFor(d)]++
+	st.sum += d
+	if d < st.min {
+		st.min = d
+	}
+	if d > st.max {
+		st.max = d
+	}
+	switch {
+	case status == 0:
+		st.transport++
+	case status >= 200 && status < 300:
+		st.status2xx++
+	case status >= 400 && status < 500:
+		st.status4xx++
+		if status == 429 {
+			st.shed429++
+		}
+	case status >= 500 && status < 600:
+		st.status5xx++
+		if status == 503 {
+			st.unav503++
+		}
+	default:
+		st.other++
+	}
+	r.mu.Unlock()
+}
+
+// quantile interpolates the q-quantile from a bucket histogram.
+func quantile(hist *[latBuckets]uint64, count uint64, q float64) time.Duration {
+	if count == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var acc uint64
+	for i := 0; i < latBuckets; i++ {
+		acc += hist[i]
+		if acc >= rank {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(latBuckets - 1)
+}
+
+// OpReport is one operation's section of the report.
+type OpReport struct {
+	Count      uint64  `json:"count"`
+	Throughput float64 `json:"throughput_rps"`
+	P50Ms      float64 `json:"p50_ms"`
+	P95Ms      float64 `json:"p95_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+	MeanMs     float64 `json:"mean_ms"`
+	MinMs      float64 `json:"min_ms"`
+	MaxMs      float64 `json:"max_ms"`
+	Status2xx  uint64  `json:"status_2xx"`
+	Status4xx  uint64  `json:"status_4xx"`
+	Status5xx  uint64  `json:"status_5xx"`
+	Shed429    uint64  `json:"shed_429"`
+	Unavail503 uint64  `json:"unavailable_503"`
+	Transport  uint64  `json:"transport_errors"`
+	Other      uint64  `json:"unaccounted"`
+}
+
+// Report is the machine-readable result set written to BENCH_api.json.
+type Report struct {
+	DurationSeconds float64             `json:"duration_seconds"`
+	Totals          OpReport            `json:"totals"`
+	Ops             map[string]OpReport `json:"ops"`
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// Report summarises everything recorded so far. The window defaults
+// to [Start, Finish]; a zero Finish falls back to elapsed = 0 and
+// leaves throughput 0 (callers always Finish in practice).
+func (r *Recorder) Report() Report {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	elapsed := r.end.Sub(r.start)
+	rep := Report{Ops: map[string]OpReport{}}
+	if elapsed > 0 {
+		rep.DurationSeconds = elapsed.Seconds()
+	}
+	var total opStats
+	total.min = time.Duration(math.MaxInt64)
+	names := make([]string, 0, len(r.ops))
+	for op := range r.ops {
+		names = append(names, op)
+	}
+	sort.Strings(names)
+	for _, op := range names {
+		st := r.ops[op]
+		rep.Ops[op] = opReport(st, elapsed)
+		total.count += st.count
+		total.sum += st.sum
+		if st.min < total.min {
+			total.min = st.min
+		}
+		if st.max > total.max {
+			total.max = st.max
+		}
+		for i := range st.hist {
+			total.hist[i] += st.hist[i]
+		}
+		total.status2xx += st.status2xx
+		total.status4xx += st.status4xx
+		total.status5xx += st.status5xx
+		total.shed429 += st.shed429
+		total.unav503 += st.unav503
+		total.transport += st.transport
+		total.other += st.other
+	}
+	rep.Totals = opReport(&total, elapsed)
+	return rep
+}
+
+func opReport(st *opStats, elapsed time.Duration) OpReport {
+	r := OpReport{
+		Count:      st.count,
+		P50Ms:      ms(quantile(&st.hist, st.count, 0.50)),
+		P95Ms:      ms(quantile(&st.hist, st.count, 0.95)),
+		P99Ms:      ms(quantile(&st.hist, st.count, 0.99)),
+		MaxMs:      ms(st.max),
+		Status2xx:  st.status2xx,
+		Status4xx:  st.status4xx,
+		Status5xx:  st.status5xx,
+		Shed429:    st.shed429,
+		Unavail503: st.unav503,
+		Transport:  st.transport,
+		Other:      st.other,
+	}
+	if st.count > 0 {
+		r.MeanMs = ms(st.sum / time.Duration(st.count))
+		r.MinMs = ms(st.min)
+	}
+	if elapsed > 0 {
+		r.Throughput = float64(st.count) / elapsed.Seconds()
+	}
+	return r
+}

@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketMonotoneAndBounded(t *testing.T) {
+	prev := -1
+	for d := time.Microsecond; d < 5*time.Minute; d = d * 3 / 2 {
+		i := bucketFor(d)
+		if i < 0 || i >= latBuckets {
+			t.Fatalf("bucketFor(%s) = %d out of range", d, i)
+		}
+		if i < prev {
+			t.Fatalf("bucketFor not monotone at %s: %d < %d", d, i, prev)
+		}
+		prev = i
+	}
+	if bucketFor(time.Hour) != latBuckets-1 {
+		t.Errorf("huge latency should land in the last bucket")
+	}
+	if bucketFor(0) != 0 {
+		t.Errorf("zero latency should land in bucket 0")
+	}
+}
+
+func TestBucketRelativeError(t *testing.T) {
+	// The upper bound assigned to a latency must be within one growth
+	// factor of the true value — that is the HDR-style accuracy claim.
+	for d := 100 * time.Microsecond; d < time.Minute; d = d * 2 {
+		up := bucketUpper(bucketFor(d))
+		if up < d {
+			t.Fatalf("bucketUpper(bucketFor(%s)) = %s below the value", d, up)
+		}
+		if float64(up)/float64(d) > latGrowth*latGrowth {
+			t.Fatalf("bucket upper %s overstates %s by more than growth²", up, d)
+		}
+	}
+}
+
+func TestRecorderStatusClassification(t *testing.T) {
+	r := NewRecorder()
+	r.Start(time.Unix(100, 0))
+	r.Record(OpPredict, 200, 2*time.Millisecond)
+	r.Record(OpPredict, 201, 2*time.Millisecond)
+	r.Record(OpPredict, 400, time.Millisecond)
+	r.Record(OpPredict, 429, time.Millisecond)
+	r.Record(OpPredict, 500, 4*time.Millisecond)
+	r.Record(OpPredict, 503, 4*time.Millisecond)
+	r.Record(OpPredict, 0, 10*time.Millisecond)    // transport failure
+	r.Record(OpPredict, 302, 500*time.Microsecond) // unexpected class
+	r.Finish(time.Unix(102, 0))
+
+	rep := r.Report()
+	st := rep.Ops[OpPredict]
+	if st.Count != 8 {
+		t.Fatalf("count = %d, want 8", st.Count)
+	}
+	checks := []struct {
+		name string
+		got  uint64
+		want uint64
+	}{
+		{"2xx", st.Status2xx, 2},
+		{"4xx", st.Status4xx, 2},
+		{"shed 429", st.Shed429, 1},
+		{"5xx", st.Status5xx, 2},
+		{"unavailable 503", st.Unavail503, 1},
+		{"transport", st.Transport, 1},
+		{"unaccounted", st.Other, 1},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s = %d, want %d", c.name, c.got, c.want)
+		}
+	}
+	if rep.DurationSeconds != 2 {
+		t.Errorf("duration = %g, want 2", rep.DurationSeconds)
+	}
+	if st.Throughput != 4 {
+		t.Errorf("throughput = %g rps, want 4", st.Throughput)
+	}
+	if rep.Totals.Count != 8 || rep.Totals.Shed429 != 1 || rep.Totals.Other != 1 {
+		t.Errorf("totals not aggregated: %+v", rep.Totals)
+	}
+}
+
+func TestRecorderQuantilesWithinBucketError(t *testing.T) {
+	r := NewRecorder()
+	// 100 observations: 1ms..100ms. True p50 = 50ms, p95 = 95ms, p99 = 99ms.
+	for i := 1; i <= 100; i++ {
+		r.Record(OpUsage, 200, time.Duration(i)*time.Millisecond)
+	}
+	rep := r.Report()
+	st := rep.Ops[OpUsage]
+	for _, c := range []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"p50", st.P50Ms, 50},
+		{"p95", st.P95Ms, 95},
+		{"p99", st.P99Ms, 99},
+	} {
+		// Bucketed quantiles report the bucket's upper bound: never
+		// below the true value, at most growth² above it.
+		if c.got < c.want || c.got > c.want*latGrowth*latGrowth {
+			t.Errorf("%s = %.2fms, want within [%g, %.2f]ms", c.name, c.got, c.want, c.want*latGrowth*latGrowth)
+		}
+	}
+	if st.MinMs != 1 || st.MaxMs != 100 {
+		t.Errorf("min/max = %g/%g ms, want 1/100", st.MinMs, st.MaxMs)
+	}
+	if math.Abs(st.MeanMs-50.5) > 0.01 {
+		t.Errorf("mean = %g ms, want 50.5", st.MeanMs)
+	}
+}
+
+func TestRecorderEmpty(t *testing.T) {
+	rep := NewRecorder().Report()
+	if rep.Totals.Count != 0 || rep.Totals.P99Ms != 0 || rep.Totals.MinMs != 0 {
+		t.Fatalf("empty recorder report not zeroed: %+v", rep.Totals)
+	}
+	if len(rep.Ops) != 0 {
+		t.Fatalf("empty recorder has ops: %v", rep.Ops)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	const workers, per = 8, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			op := KnownOps()[w%len(KnownOps())]
+			for i := 0; i < per; i++ {
+				r.Record(op, 200, time.Duration(i+1)*time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Report().Totals.Count; got != workers*per {
+		t.Fatalf("concurrent records lost: %d of %d", got, workers*per)
+	}
+}

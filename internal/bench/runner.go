@@ -1,0 +1,237 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TenantHeader is the multi-tenant attribution header the API tier
+// reads (mirrors internal/api's middleware constant; the harness
+// stays decoupled from the server packages so it can drive any
+// Caladrius-compatible endpoint).
+const TenantHeader = "X-Caladrius-Tenant"
+
+// maxOpenInFlight bounds open-loop dispatch fan-out. When the target
+// is slow enough to pin this many requests, the dispatcher blocks —
+// open loop degrades toward closed loop rather than spawning
+// goroutines without bound. Overruns are counted in the result.
+const maxOpenInFlight = 256
+
+// RunnerOptions configures a load run.
+type RunnerOptions struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8642".
+	BaseURL string
+	// Client issues the requests. Default: http.Client with a 30s
+	// timeout.
+	Client *http.Client
+	// Topology names the demo topology model operations hit. Default
+	// "word-count".
+	Topology string
+	// Recorder receives every outcome. Default: a fresh one.
+	Recorder *Recorder
+	// Now/Sleep are the clock (tests substitute fakes). Defaults:
+	// time.Now / time.Sleep.
+	Now   func() time.Time
+	Sleep func(time.Duration)
+}
+
+// Runner drives one generated schedule against a live daemon.
+type Runner struct {
+	sched  *Schedule
+	base   string
+	client *http.Client
+	topo   string
+	rec    *Recorder
+	now    func() time.Time
+	sleep  func(time.Duration)
+
+	issued   atomic.Uint64
+	overruns atomic.Uint64
+}
+
+// NewRunner builds a runner for schedule s.
+func NewRunner(s *Schedule, opts RunnerOptions) (*Runner, error) {
+	if s == nil || len(s.Events) == 0 {
+		return nil, fmt.Errorf("bench: empty schedule")
+	}
+	if opts.BaseURL == "" {
+		return nil, fmt.Errorf("bench: runner needs a base URL")
+	}
+	r := &Runner{
+		sched:  s,
+		base:   opts.BaseURL,
+		client: opts.Client,
+		topo:   opts.Topology,
+		rec:    opts.Recorder,
+		now:    opts.Now,
+		sleep:  opts.Sleep,
+	}
+	if r.client == nil {
+		r.client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if r.topo == "" {
+		r.topo = "word-count"
+	}
+	if r.rec == nil {
+		r.rec = NewRecorder()
+	}
+	if r.now == nil {
+		r.now = time.Now
+	}
+	if r.sleep == nil {
+		r.sleep = time.Sleep
+	}
+	return r, nil
+}
+
+// Recorder returns the recorder outcomes land in.
+func (r *Runner) Recorder() *Recorder { return r.rec }
+
+// Issued returns how many requests the runner dispatched — the
+// zero-unaccounted soak check compares it against the recorder total.
+func (r *Runner) Issued() uint64 { return r.issued.Load() }
+
+// Overruns returns how many open-loop arrivals missed their slot
+// because the in-flight cap was saturated (dispatch blocked).
+func (r *Runner) Overruns() uint64 { return r.overruns.Load() }
+
+// request builds the HTTP request for one scheduled event.
+func (r *Runner) request(ctx context.Context, e Event) (*http.Request, error) {
+	var req *http.Request
+	var err error
+	switch e.Op {
+	case OpPredict:
+		req, err = http.NewRequestWithContext(ctx, http.MethodPost,
+			r.base+"/api/v1/model/topology/"+r.topo+"/performance?sync=true",
+			bytes.NewReader([]byte(`{}`)))
+	case OpPlan:
+		req, err = http.NewRequestWithContext(ctx, http.MethodPost,
+			r.base+"/api/v1/model/topology/"+r.topo+"/suggest?sync=true",
+			bytes.NewReader([]byte(`{}`)))
+	case OpQueryRange:
+		// Window the last five minutes of wall (or fake) time so the
+		// query lands on freshly scraped self-monitoring history.
+		now := r.now()
+		req, err = http.NewRequestWithContext(ctx, http.MethodGet,
+			r.base+"/api/v1/query_range?metric=caladrius_http_requests_total"+
+				"&start="+strconv.FormatInt(now.Add(-5*time.Minute).Unix(), 10)+
+				"&end="+strconv.FormatInt(now.Add(time.Minute).Unix(), 10)+
+				"&step=10s&agg=max&merge=sum", nil)
+	case OpAudit:
+		req, err = http.NewRequestWithContext(ctx, http.MethodGet,
+			r.base+"/api/v1/audit?limit=50", nil)
+	case OpUsage:
+		req, err = http.NewRequestWithContext(ctx, http.MethodGet,
+			r.base+"/api/v1/usage", nil)
+	default:
+		return nil, fmt.Errorf("bench: unknown op %q", e.Op)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if e.Op == OpPredict || e.Op == OpPlan {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	req.Header.Set(TenantHeader, e.Tenant)
+	return req, nil
+}
+
+// issue sends one event and records the outcome.
+func (r *Runner) issue(ctx context.Context, e Event) {
+	req, err := r.request(ctx, e)
+	if err != nil {
+		r.rec.Record(e.Op, 0, 0)
+		return
+	}
+	r.issued.Add(1)
+	start := time.Now()
+	resp, err := r.client.Do(req)
+	elapsed := time.Since(start)
+	if err != nil {
+		r.rec.Record(e.Op, 0, elapsed)
+		return
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	r.rec.Record(e.Op, resp.StatusCode, elapsed)
+}
+
+// Run executes the schedule until it is exhausted (open loop) or the
+// configured duration elapses (closed loop), then returns the report.
+// Cancelling ctx stops dispatch; in-flight requests still complete and
+// are recorded.
+func (r *Runner) Run(ctx context.Context) (Report, error) {
+	r.rec.Start(time.Now())
+	switch r.sched.Config.Mode {
+	case OpenLoop:
+		r.runOpen(ctx)
+	case ClosedLoop:
+		r.runClosed(ctx)
+	default:
+		return Report{}, fmt.Errorf("bench: unknown arrival mode %q", r.sched.Config.Mode)
+	}
+	r.rec.Finish(time.Now())
+	return r.rec.Report(), nil
+}
+
+// runOpen fires events on the schedule's timetable, regardless of
+// response latency, up to maxOpenInFlight concurrent requests.
+func (r *Runner) runOpen(ctx context.Context) {
+	start := r.now()
+	sem := make(chan struct{}, maxOpenInFlight)
+	var wg sync.WaitGroup
+	for _, e := range r.sched.Events {
+		if ctx.Err() != nil {
+			break
+		}
+		if wait := e.At - r.now().Sub(start); wait > 0 {
+			r.sleep(wait)
+		}
+		select {
+		case sem <- struct{}{}:
+		default:
+			// Saturated: block until a slot frees, counting the overrun.
+			r.overruns.Add(1)
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				wg.Wait()
+				return
+			}
+		}
+		wg.Add(1)
+		go func(e Event) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			r.issue(ctx, e)
+		}(e)
+	}
+	wg.Wait()
+}
+
+// runClosed runs the configured worker population over the event ring
+// until the schedule duration elapses.
+func (r *Runner) runClosed(ctx context.Context) {
+	deadline := r.now().Add(r.sched.Config.Duration)
+	var next atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < r.sched.Config.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil && r.now().Before(deadline) {
+				i := next.Add(1) - 1
+				e := r.sched.Events[int(i)%len(r.sched.Events)]
+				r.issue(ctx, e)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,240 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Arrival selects the load model.
+type Arrival string
+
+// Arrival modes. Open-loop fires requests on a pre-computed Poisson
+// timetable regardless of responses (arrival rate is the independent
+// variable — the mode that exposes queueing collapse); closed-loop
+// runs a fixed worker population where each worker issues its next
+// request when the previous completes (concurrency is the independent
+// variable — the mode that measures sustainable service rate).
+const (
+	OpenLoop   Arrival = "open"
+	ClosedLoop Arrival = "closed"
+)
+
+// FlashCrowd multiplies the open-loop arrival rate by Factor during
+// [At, At+Duration) — the sudden-fan-in shape PDSP-Bench uses to
+// expose admission-control behaviour.
+type FlashCrowd struct {
+	At       time.Duration `json:"at"`
+	Duration time.Duration `json:"duration"`
+	Factor   float64       `json:"factor"`
+}
+
+// ScheduleConfig parameterises Generate. The same config (including
+// Seed) always yields a byte-identical schedule.
+type ScheduleConfig struct {
+	Mode Arrival
+	Mix  Mix
+	// Rate is the open-loop target arrival rate in requests/second,
+	// before ramp and flash-crowd shaping.
+	Rate float64
+	// Concurrency is the closed-loop worker population.
+	Concurrency int
+	// Duration bounds the schedule (open-loop event times stay below
+	// it; closed-loop uses it as the wall-clock run bound).
+	Duration time.Duration
+	// Seed drives every random choice. Same seed, same schedule.
+	Seed int64
+	// Tenants rotate through the X-Caladrius-Tenant header. Empty
+	// defaults to tenant-0..tenant-3.
+	Tenants []string
+	// RampUp linearly scales the open-loop rate from 0 to Rate over
+	// the first RampUp of the run; 0 starts at full rate.
+	RampUp time.Duration
+	// Flash holds flash-crowd rate multipliers (open-loop only).
+	Flash []FlashCrowd
+	// ClosedEvents sizes the closed-loop op/tenant assignment ring.
+	// Workers wrap around if they exhaust it. Default 4096.
+	ClosedEvents int
+}
+
+// Validate checks the config, returning errors that name the fix.
+func (c ScheduleConfig) Validate() error {
+	switch c.Mode {
+	case OpenLoop:
+		if c.Rate <= 0 {
+			return fmt.Errorf("bench: open-loop schedule needs rate > 0 req/s, got %g", c.Rate)
+		}
+		if !(c.Rate < 1e6) || math.IsNaN(c.Rate) {
+			return fmt.Errorf("bench: open-loop rate %g req/s is not plausible (< 1e6 required)", c.Rate)
+		}
+	case ClosedLoop:
+		if c.Concurrency <= 0 {
+			return fmt.Errorf("bench: closed-loop schedule needs concurrency > 0, got %d", c.Concurrency)
+		}
+	default:
+		return fmt.Errorf("bench: unknown arrival mode %q (want %q or %q)", c.Mode, OpenLoop, ClosedLoop)
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("bench: schedule needs duration > 0, got %s", c.Duration)
+	}
+	if c.Mix.Total() == 0 {
+		return fmt.Errorf("bench: schedule needs a non-empty mix")
+	}
+	for i, f := range c.Flash {
+		if f.Factor <= 0 {
+			return fmt.Errorf("bench: flash crowd %d needs factor > 0, got %g", i, f.Factor)
+		}
+		if f.At < 0 || f.Duration <= 0 {
+			return fmt.Errorf("bench: flash crowd %d needs at >= 0 and duration > 0", i)
+		}
+	}
+	if c.RampUp < 0 {
+		return fmt.Errorf("bench: ramp-up must be >= 0, got %s", c.RampUp)
+	}
+	return nil
+}
+
+// tenants returns the effective tenant rotation.
+func (c ScheduleConfig) tenants() []string {
+	if len(c.Tenants) > 0 {
+		return c.Tenants
+	}
+	return []string{"tenant-0", "tenant-1", "tenant-2", "tenant-3"}
+}
+
+// Event is one scheduled request. Open-loop events carry the arrival
+// offset from run start; closed-loop events carry At = 0 and are
+// consumed in Seq order by the worker population.
+type Event struct {
+	Seq    int
+	At     time.Duration
+	Op     string
+	Tenant string
+}
+
+// Schedule is a generated request timetable plus the config that
+// produced it.
+type Schedule struct {
+	Config ScheduleConfig
+	Events []Event
+}
+
+// rateAt is the shaped instantaneous arrival rate at offset t.
+func (c ScheduleConfig) rateAt(t time.Duration) float64 {
+	r := c.Rate
+	if c.RampUp > 0 && t < c.RampUp {
+		r *= float64(t) / float64(c.RampUp)
+	}
+	for _, f := range c.Flash {
+		if t >= f.At && t < f.At+f.Duration {
+			r *= f.Factor
+		}
+	}
+	return r
+}
+
+// Generate builds the deterministic schedule for c. Open-loop arrival
+// is a non-homogeneous Poisson process realised by thinning against
+// the peak shaped rate, so ramps and flash crowds bend the arrival
+// curve exactly where configured.
+func Generate(c ScheduleConfig) (*Schedule, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	tenants := c.tenants()
+	s := &Schedule{Config: c}
+	assign := func(seq int, at time.Duration) Event {
+		return Event{
+			Seq:    seq,
+			At:     at,
+			Op:     c.Mix.pick(rng.Intn(c.Mix.Total())),
+			Tenant: tenants[rng.Intn(len(tenants))],
+		}
+	}
+	switch c.Mode {
+	case OpenLoop:
+		peak := c.Rate
+		for _, f := range c.Flash {
+			if r := c.Rate * f.Factor; r > peak {
+				peak = r
+			}
+		}
+		t := time.Duration(0)
+		seq := 0
+		for {
+			// Exponential gap at the peak rate, thinned to the shaped rate.
+			gap := time.Duration(rng.ExpFloat64() / peak * float64(time.Second))
+			t += gap
+			if t >= c.Duration {
+				break
+			}
+			if rng.Float64() >= c.rateAt(t)/peak {
+				continue // thinned away: instantaneous rate below peak
+			}
+			s.Events = append(s.Events, assign(seq, t))
+			seq++
+		}
+	case ClosedLoop:
+		n := c.ClosedEvents
+		if n <= 0 {
+			n = 4096
+		}
+		for seq := 0; seq < n; seq++ {
+			s.Events = append(s.Events, assign(seq, 0))
+		}
+	}
+	return s, nil
+}
+
+// Encode renders the schedule as deterministic text — one line per
+// event — so tests can assert that equal seeds produce byte-identical
+// schedules and unequal seeds do not.
+func (s *Schedule) Encode() []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# mode=%s mix=%s seed=%d duration=%s\n",
+		s.Config.Mode, s.Config.Mix.String(), s.Config.Seed, s.Config.Duration)
+	for _, e := range s.Events {
+		b.WriteString(strconv.Itoa(e.Seq))
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatInt(int64(e.At), 10))
+		b.WriteByte(' ')
+		b.WriteString(e.Op)
+		b.WriteByte(' ')
+		b.WriteString(e.Tenant)
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}
+
+// ParseFlash parses "at:duration:factor[;at:duration:factor...]"
+// (e.g. "5s:2s:4") into flash-crowd specs — the CLI surface.
+func ParseFlash(spec string) ([]FlashCrowd, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	var out []FlashCrowd
+	for _, part := range strings.Split(spec, ";") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("bench: flash crowd %q is not at:duration:factor", part)
+		}
+		at, err := time.ParseDuration(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("bench: flash crowd at %q: %v", fields[0], err)
+		}
+		d, err := time.ParseDuration(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("bench: flash crowd duration %q: %v", fields[1], err)
+		}
+		f, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bench: flash crowd factor %q: %v", fields[2], err)
+		}
+		out = append(out, FlashCrowd{At: at, Duration: d, Factor: f})
+	}
+	return out, nil
+}

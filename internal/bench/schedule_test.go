@@ -1,0 +1,233 @@
+package bench
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func openCfg(seed int64) ScheduleConfig {
+	return ScheduleConfig{
+		Mode:     OpenLoop,
+		Mix:      MustMix(DefaultMixSpec),
+		Rate:     50,
+		Duration: 20 * time.Second,
+		Seed:     seed,
+	}
+}
+
+func TestScheduleSameSeedByteIdentical(t *testing.T) {
+	for _, mode := range []Arrival{OpenLoop, ClosedLoop} {
+		cfg := openCfg(42)
+		cfg.Mode = mode
+		cfg.Concurrency = 8
+		a, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		b, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if !bytes.Equal(a.Encode(), b.Encode()) {
+			t.Errorf("%s: same seed produced different schedules", mode)
+		}
+		cfg.Seed = 43
+		c, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if bytes.Equal(a.Encode(), c.Encode()) {
+			t.Errorf("%s: different seeds produced identical schedules", mode)
+		}
+	}
+}
+
+func TestScheduleValidationTable(t *testing.T) {
+	base := openCfg(1)
+	cases := []struct {
+		name    string
+		mutate  func(*ScheduleConfig)
+		wantErr string
+	}{
+		{"valid open", func(c *ScheduleConfig) {}, ""},
+		{"zero rate", func(c *ScheduleConfig) { c.Rate = 0 }, "rate > 0"},
+		{"nan rate", func(c *ScheduleConfig) { c.Rate = math.NaN() }, "not plausible"},
+		{"absurd rate", func(c *ScheduleConfig) { c.Rate = 2e6 }, "not plausible"},
+		{"zero duration", func(c *ScheduleConfig) { c.Duration = 0 }, "duration > 0"},
+		{"empty mix", func(c *ScheduleConfig) { c.Mix = Mix{} }, "non-empty mix"},
+		{"bad mode", func(c *ScheduleConfig) { c.Mode = "surge" }, `unknown arrival mode "surge"`},
+		{"closed needs workers", func(c *ScheduleConfig) { c.Mode = ClosedLoop; c.Concurrency = 0 }, "concurrency > 0"},
+		{"flash zero factor", func(c *ScheduleConfig) { c.Flash = []FlashCrowd{{At: time.Second, Duration: time.Second}} }, "factor > 0"},
+		{"flash zero duration", func(c *ScheduleConfig) { c.Flash = []FlashCrowd{{At: time.Second, Factor: 2}} }, "duration > 0"},
+		{"negative ramp", func(c *ScheduleConfig) { c.RampUp = -time.Second }, "ramp-up"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			tc.mutate(&cfg)
+			_, err := Generate(cfg)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error = %v, want it to contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestOpenLoopRateWithinTolerance asserts the generated arrival count
+// honours the configured rate under the schedule's own (fake) clock —
+// event counts are a pure function of the seed, so the tolerance
+// check is deterministic.
+func TestOpenLoopRateWithinTolerance(t *testing.T) {
+	cfg := openCfg(7)
+	cfg.Rate = 100
+	cfg.Duration = 30 * time.Second
+	s, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.Rate * cfg.Duration.Seconds()
+	got := float64(len(s.Events))
+	if math.Abs(got-want)/want > 0.10 {
+		t.Fatalf("open-loop schedule has %d events for rate %g over %s (want %g ±10%%)",
+			len(s.Events), cfg.Rate, cfg.Duration, want)
+	}
+	for i, e := range s.Events {
+		if e.At < 0 || e.At >= cfg.Duration {
+			t.Fatalf("event %d at %s outside [0, %s)", i, e.At, cfg.Duration)
+		}
+		if i > 0 && e.At < s.Events[i-1].At {
+			t.Fatalf("event %d arrives before its predecessor", i)
+		}
+	}
+}
+
+// TestOpenLoopRampShapesArrivals checks the first half of a fully
+// ramped run carries materially fewer arrivals than the second.
+func TestOpenLoopRampShapesArrivals(t *testing.T) {
+	cfg := openCfg(11)
+	cfg.Rate = 80
+	cfg.Duration = 20 * time.Second
+	cfg.RampUp = 20 * time.Second
+	s, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := cfg.Duration / 2
+	var first, second int
+	for _, e := range s.Events {
+		if e.At < half {
+			first++
+		} else {
+			second++
+		}
+	}
+	// A linear 0→rate ramp puts 25% of arrivals in the first half.
+	if first >= second {
+		t.Fatalf("ramped schedule front-loaded: %d arrivals before %s, %d after", first, half, second)
+	}
+}
+
+// TestOpenLoopFlashCrowdSpikesArrivals checks the flash window's
+// arrival density is a multiple of the surrounding steady state.
+func TestOpenLoopFlashCrowdSpikesArrivals(t *testing.T) {
+	cfg := openCfg(13)
+	cfg.Rate = 40
+	cfg.Duration = 30 * time.Second
+	crowd := FlashCrowd{At: 10 * time.Second, Duration: 5 * time.Second, Factor: 5}
+	cfg.Flash = []FlashCrowd{crowd}
+	s, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inFlash, steady int
+	for _, e := range s.Events {
+		if e.At >= crowd.At && e.At < crowd.At+crowd.Duration {
+			inFlash++
+		} else {
+			steady++
+		}
+	}
+	flashDensity := float64(inFlash) / crowd.Duration.Seconds()
+	steadyDensity := float64(steady) / (cfg.Duration - crowd.Duration).Seconds()
+	if flashDensity < 3*steadyDensity {
+		t.Fatalf("flash density %.1f/s not a clear spike over steady %.1f/s", flashDensity, steadyDensity)
+	}
+}
+
+func TestScheduleTenantRotationAndMix(t *testing.T) {
+	cfg := ScheduleConfig{
+		Mode:         ClosedLoop,
+		Mix:          MustMix("predict=1,usage=1"),
+		Concurrency:  4,
+		Duration:     time.Second,
+		Seed:         3,
+		Tenants:      []string{"a", "b", "c"},
+		ClosedEvents: 900,
+	}
+	s, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Events) != 900 {
+		t.Fatalf("closed-loop ring has %d events, want 900", len(s.Events))
+	}
+	tenants := map[string]int{}
+	ops := map[string]int{}
+	for _, e := range s.Events {
+		tenants[e.Tenant]++
+		ops[e.Op]++
+	}
+	for _, want := range []string{"a", "b", "c"} {
+		if tenants[want] == 0 {
+			t.Errorf("tenant %q never scheduled: %v", want, tenants)
+		}
+	}
+	if ops[OpPredict] == 0 || ops[OpUsage] == 0 {
+		t.Errorf("mix not represented: %v", ops)
+	}
+	// 50/50 mix over 900 draws: allow a wide but meaningful band.
+	if ops[OpPredict] < 350 || ops[OpPredict] > 550 {
+		t.Errorf("predict drawn %d times of 900, want ~450", ops[OpPredict])
+	}
+}
+
+func TestParseFlashTable(t *testing.T) {
+	cases := []struct {
+		spec    string
+		want    int
+		wantErr string
+	}{
+		{"", 0, ""},
+		{"5s:2s:4", 1, ""},
+		{"5s:2s:4;10s:1s:2.5", 2, ""},
+		{"5s:2s", 0, "not at:duration:factor"},
+		{"x:2s:4", 0, "flash crowd at"},
+		{"5s:y:4", 0, "flash crowd duration"},
+		{"5s:2s:z", 0, "flash crowd factor"},
+	}
+	for _, tc := range cases {
+		got, err := ParseFlash(tc.spec)
+		if tc.wantErr != "" {
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("ParseFlash(%q) error = %v, want %q", tc.spec, err, tc.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseFlash(%q): %v", tc.spec, err)
+			continue
+		}
+		if len(got) != tc.want {
+			t.Errorf("ParseFlash(%q) = %d crowds, want %d", tc.spec, len(got), tc.want)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	"caladrius/internal/chaos"
+	"caladrius/internal/telemetry"
+)
+
+// goroutineSlack is how many extra goroutines the post-soak process
+// may hold versus the pre-soak baseline before the leak check fails.
+// The runtime itself (GC workers, timer goroutines, finalizers) can
+// legitimately grow by a few.
+const goroutineSlack = 6
+
+// heapSlackBytes bounds post-soak heap growth. The soak is minutes at
+// most; anything past this is a retained-reference leak, not noise.
+const heapSlackBytes = 256 << 20
+
+// SoakConfig parameterises RunSoak.
+type SoakConfig struct {
+	// Duration of the load phase. Default 10s.
+	Duration time.Duration
+	// Mix of operations. Default DefaultMixSpec.
+	Mix Mix
+	// Concurrency is the closed-loop worker population. Default 4.
+	Concurrency int
+	// Seed drives the schedule. Default 1.
+	Seed int64
+	// Tenants rotate through the tenant header; nil = defaults.
+	Tenants []string
+	// Plan is the chaos fault plan fired during the load phase.
+	// Default: MetricsOutagePlan over the middle of the run.
+	Plan *chaos.Plan
+	// SLOWindow / ScrapeInterval configure self-monitoring (see
+	// DaemonOptions). Defaults 5s / 500ms.
+	SLOWindow      time.Duration
+	ScrapeInterval time.Duration
+	// Settle bounds the post-load wait for SLOs to resolve. Default
+	// max(15s, 3×SLOWindow).
+	Settle time.Duration
+	// RateTPM / WarmMinutes size the demo sim (see DaemonOptions).
+	RateTPM     float64
+	WarmMinutes int
+}
+
+// MetricsOutagePlan is a hand-written plan with one metrics-outage
+// fault covering [at, at+duration) of the run.
+func MetricsOutagePlan(at, duration time.Duration) *chaos.Plan {
+	return &chaos.Plan{Faults: []chaos.Fault{{
+		Kind:     chaos.FaultMetricsOutage,
+		At:       chaos.Duration(at),
+		Duration: chaos.Duration(duration),
+	}}}
+}
+
+// RuleTransitions is one rule's observed state-flip counts.
+type RuleTransitions struct {
+	ToFiring   float64 `json:"to_firing"`
+	ToResolved float64 `json:"to_resolved"`
+}
+
+// SoakResult is the soak verdict plus everything needed to understand
+// it. Failures empty means the soak passed.
+type SoakResult struct {
+	Report            Report                     `json:"report"`
+	Issued            uint64                     `json:"issued"`
+	Recorded          uint64                     `json:"recorded"`
+	GoroutineBaseline int                        `json:"goroutine_baseline"`
+	GoroutineFinal    int                        `json:"goroutine_final"`
+	HeapBaseline      uint64                     `json:"heap_baseline_bytes"`
+	HeapFinal         uint64                     `json:"heap_final_bytes"`
+	Transitions       map[string]RuleTransitions `json:"slo_transitions"`
+	FinalAlerts       []telemetry.Alert          `json:"final_alerts"`
+	Failures          []string                   `json:"failures"`
+}
+
+// Passed reports whether every exit assertion held.
+func (r *SoakResult) Passed() bool { return len(r.Failures) == 0 }
+
+// RunSoak runs the full soak: baseline capture → in-process daemon
+// with the chaos plan armed → closed-loop load for Duration →
+// post-load settle until SLOs resolve (bounded by Settle) → teardown →
+// leak and accounting assertions. It is wall-clock driven; the
+// deterministic fake-clock variant lives in the package tests.
+func RunSoak(cfg SoakConfig) (*SoakResult, error) {
+	if cfg.Duration <= 0 {
+		cfg.Duration = 10 * time.Second
+	}
+	if cfg.Mix.Total() == 0 {
+		cfg.Mix = MustMix(DefaultMixSpec)
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 4
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.SLOWindow <= 0 {
+		cfg.SLOWindow = 5 * time.Second
+	}
+	if cfg.ScrapeInterval <= 0 {
+		cfg.ScrapeInterval = 500 * time.Millisecond
+	}
+	if cfg.Settle <= 0 {
+		cfg.Settle = 15 * time.Second
+		if m := 3 * cfg.SLOWindow; m > cfg.Settle {
+			cfg.Settle = m
+		}
+	}
+	if cfg.Plan == nil {
+		cfg.Plan = MetricsOutagePlan(cfg.Duration/4, cfg.Duration/4)
+	}
+
+	res := &SoakResult{Transitions: map[string]RuleTransitions{}}
+	runtime.GC()
+	res.GoroutineBaseline = runtime.NumGoroutine()
+	res.HeapBaseline = heapAlloc()
+
+	d, err := StartDaemon(DaemonOptions{
+		RateTPM:        cfg.RateTPM,
+		WarmMinutes:    cfg.WarmMinutes,
+		ChaosPlan:      cfg.Plan,
+		SLOWindow:      cfg.SLOWindow,
+		ScrapeInterval: cfg.ScrapeInterval,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench: soak daemon: %w", err)
+	}
+	scrapeCtx, stopScraper := context.WithCancel(context.Background())
+	go d.Scraper.Run(scrapeCtx)
+
+	sched, err := Generate(ScheduleConfig{
+		Mode:        ClosedLoop,
+		Mix:         cfg.Mix,
+		Concurrency: cfg.Concurrency,
+		Duration:    cfg.Duration,
+		Seed:        cfg.Seed,
+		Tenants:     cfg.Tenants,
+	})
+	if err != nil {
+		stopScraper()
+		_ = d.Close()
+		return nil, err
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	runner, err := NewRunner(sched, RunnerOptions{BaseURL: d.URL, Client: client})
+	if err != nil {
+		stopScraper()
+		_ = d.Close()
+		return nil, err
+	}
+	report, err := runner.Run(context.Background())
+	if err != nil {
+		stopScraper()
+		_ = d.Close()
+		return nil, err
+	}
+	res.Report = report
+	res.Issued = runner.Issued()
+	res.Recorded = report.Totals.Count
+
+	// Settle: background scrapes keep feeding the SLO evaluator; wait
+	// for every rule to leave firing (ok or no_data both count as
+	// green — no_data just means the window drained).
+	deadline := time.Now().Add(cfg.Settle)
+	for {
+		alerts := d.SLO.Evaluate()
+		firing := 0
+		for _, a := range alerts {
+			if a.State == telemetry.StateFiring {
+				firing++
+			}
+		}
+		res.FinalAlerts = alerts
+		if firing == 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(cfg.ScrapeInterval)
+	}
+
+	stopScraper()
+	for _, r := range d.SLO.Rules() {
+		res.Transitions[r.Name] = RuleTransitions{
+			ToFiring:   d.Registry.Counter("caladrius_slo_transitions_total", telemetry.Labels{"rule": r.Name, "to": "firing"}).Value(),
+			ToResolved: d.Registry.Counter("caladrius_slo_transitions_total", telemetry.Labels{"rule": r.Name, "to": "resolved"}).Value(),
+		}
+	}
+	closeErr := d.Close()
+	client.CloseIdleConnections()
+
+	// Goroutine drain: connections and workers unwind asynchronously
+	// after Close; poll with GC pressure before declaring a leak.
+	res.GoroutineFinal = runtime.NumGoroutine()
+	for end := time.Now().Add(5 * time.Second); time.Now().Before(end); {
+		if res.GoroutineFinal <= res.GoroutineBaseline+goroutineSlack {
+			break
+		}
+		runtime.GC()
+		time.Sleep(50 * time.Millisecond)
+		res.GoroutineFinal = runtime.NumGoroutine()
+	}
+	runtime.GC()
+	res.HeapFinal = heapAlloc()
+
+	// --- exit assertions -------------------------------------------------
+	if closeErr != nil {
+		res.Failures = append(res.Failures, fmt.Sprintf("daemon close: %v", closeErr))
+	}
+	for _, a := range res.FinalAlerts {
+		if a.State == telemetry.StateFiring {
+			res.Failures = append(res.Failures, fmt.Sprintf("SLO %q still firing after %s settle", a.Rule, cfg.Settle))
+		}
+	}
+	if res.GoroutineFinal > res.GoroutineBaseline+goroutineSlack {
+		res.Failures = append(res.Failures, fmt.Sprintf("goroutine leak: baseline %d, final %d (slack %d)",
+			res.GoroutineBaseline, res.GoroutineFinal, goroutineSlack))
+	}
+	if res.HeapFinal > res.HeapBaseline+heapSlackBytes {
+		res.Failures = append(res.Failures, fmt.Sprintf("heap growth: baseline %d bytes, final %d bytes",
+			res.HeapBaseline, res.HeapFinal))
+	}
+	if res.Issued != res.Recorded {
+		res.Failures = append(res.Failures, fmt.Sprintf("unaccounted responses: issued %d, recorded %d", res.Issued, res.Recorded))
+	}
+	if res.Report.Totals.Other > 0 {
+		res.Failures = append(res.Failures, fmt.Sprintf("%d responses outside 2xx/4xx/5xx/transport classes", res.Report.Totals.Other))
+	}
+	if len(cfg.Plan.MetricsFaults()) > 0 && res.Report.Totals.Unavail503 == 0 &&
+		cfg.Mix.Weight(OpPredict)+cfg.Mix.Weight(OpPlan) > 0 {
+		res.Failures = append(res.Failures, "chaos plan has metrics faults but no 503s were observed — the fault never bit")
+	}
+	return res, nil
+}
+
+func heapAlloc() uint64 {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m.HeapAlloc
+}

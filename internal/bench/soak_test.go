@@ -1,0 +1,211 @@
+package bench
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"caladrius/internal/telemetry"
+)
+
+// fakeClock is a hand-advanced clock shared by the daemon's chaos
+// gate, scraper, and SLO evaluator, so the entire fault cycle is
+// deterministic: no sleeps, no wall-clock races.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+	return c.t
+}
+
+// TestSoakDeterministicFaultCycle is the closed-loop soak e2e in
+// miniature: an in-process daemon under request load while a chaos
+// metrics-outage fires, all on a fake clock. It walks the full cycle —
+// healthy → outage (503 + Retry-After, 5xx SLO fires) → recovery (SLO
+// resolves) — and then asserts zero unaccounted responses and that
+// teardown returns the process to its goroutine baseline.
+func TestSoakDeterministicFaultCycle(t *testing.T) {
+	const (
+		step        = 500 * time.Millisecond
+		outageAt    = 3 * time.Second
+		outageFor   = 3 * time.Second
+		totalWindow = 14 * time.Second
+	)
+	clock := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	runtime.GC()
+	baseline := runtime.NumGoroutine()
+
+	d, err := StartDaemon(DaemonOptions{
+		Now:       clock.Now,
+		Origin:    clock.Now(),
+		ChaosPlan: MetricsOutagePlan(outageAt, outageFor),
+		SLOWindow: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed := false
+	defer func() {
+		if !closed {
+			_ = d.Close()
+		}
+	}()
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	sched, err := Generate(ScheduleConfig{
+		Mode:        ClosedLoop,
+		Mix:         MustMix("predict=3,query_range=1,usage=1"),
+		Concurrency: 1,
+		Duration:    totalWindow,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner, err := NewRunner(sched, RunnerOptions{
+		BaseURL: d.URL,
+		Client:  client,
+		Now:     clock.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Drive the cycle by hand: each tick advances the fake clock,
+	// issues a slice of the schedule, and scrapes at the fake time
+	// (AfterScrape feeds the SLO evaluator). The runner's own closed
+	// loop is wall-clock paced, so the deterministic variant owns
+	// dispatch itself.
+	var (
+		next           int
+		outage503      int
+		outagePredicts int
+		sawRetryAfter  bool
+		firingDuring   bool
+		elapsed        time.Duration
+		perTick        = 6
+	)
+	for elapsed = 0; elapsed < totalWindow; elapsed += step {
+		now := clock.Advance(step)
+		inOutage := elapsed+step > outageAt && elapsed < outageAt+outageFor
+		for i := 0; i < perTick; i++ {
+			e := sched.Events[next%len(sched.Events)]
+			next++
+			if inOutage && e.Op == OpPredict {
+				// Issue model ops directly during the outage so the
+				// Retry-After contract is observable, not just the code.
+				outagePredicts++
+				req, err := runner.request(context.Background(), e)
+				if err != nil {
+					t.Fatal(err)
+				}
+				resp, err := client.Do(req)
+				if err != nil {
+					t.Fatalf("predict during outage: %v", err)
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				_ = resp.Body.Close()
+				runner.rec.Record(e.Op, resp.StatusCode, time.Millisecond)
+				if resp.StatusCode == http.StatusServiceUnavailable {
+					outage503++
+					if resp.Header.Get("Retry-After") != "" {
+						sawRetryAfter = true
+					}
+				}
+				continue
+			}
+			runner.issue(context.Background(), e)
+		}
+		d.Scraper.ScrapeOnce(now)
+		for _, a := range d.SLO.Evaluate() {
+			if a.Rule == "http-5xx-rate" && a.State == telemetry.StateFiring {
+				firingDuring = true
+			}
+		}
+	}
+
+	if outagePredicts == 0 {
+		t.Fatal("schedule never issued a predict during the outage window")
+	}
+	if outage503 == 0 {
+		t.Fatalf("no 503s across %d predicts during the metrics outage", outagePredicts)
+	}
+	if !sawRetryAfter {
+		t.Error("503 responses during the outage carried no Retry-After header")
+	}
+	if !firingDuring {
+		t.Error("http-5xx-rate never fired while the outage drove 503s")
+	}
+
+	// Recovery: keep scraping past the outage until the 5xx window
+	// drains. Bounded by fake-clock ticks, not wall time.
+	var finalFiring []string
+	for i := 0; i < 40; i++ {
+		now := clock.Advance(step)
+		e := sched.Events[next%len(sched.Events)]
+		next++
+		runner.issue(context.Background(), e)
+		d.Scraper.ScrapeOnce(now)
+		finalFiring = finalFiring[:0]
+		for _, a := range d.SLO.Evaluate() {
+			if a.State == telemetry.StateFiring {
+				finalFiring = append(finalFiring, a.Rule)
+			}
+		}
+		if len(finalFiring) == 0 {
+			break
+		}
+	}
+	if len(finalFiring) != 0 {
+		t.Fatalf("SLOs still firing after recovery: %v", finalFiring)
+	}
+
+	fired := d.Registry.Counter("caladrius_slo_transitions_total",
+		telemetry.Labels{"rule": "http-5xx-rate", "to": "firing"}).Value()
+	resolved := d.Registry.Counter("caladrius_slo_transitions_total",
+		telemetry.Labels{"rule": "http-5xx-rate", "to": "resolved"}).Value()
+	if fired < 1 || resolved < 1 {
+		t.Errorf("http-5xx-rate transitions: to_firing=%g to_resolved=%g, want >=1 each", fired, resolved)
+	}
+
+	rep := runner.rec.Report()
+	if rep.Totals.Other != 0 {
+		t.Errorf("%d responses fell outside 2xx/4xx/5xx accounting", rep.Totals.Other)
+	}
+	if rep.Totals.Transport != 0 {
+		t.Errorf("%d transport errors against an in-process daemon", rep.Totals.Transport)
+	}
+	if rep.Totals.Count == 0 || rep.Totals.Status2xx == 0 {
+		t.Fatalf("load produced no successful traffic: %+v", rep.Totals)
+	}
+
+	if err := d.Close(); err != nil {
+		t.Errorf("daemon close: %v", err)
+	}
+	closed = true
+	client.CloseIdleConnections()
+	final := runtime.NumGoroutine()
+	for end := time.Now().Add(5 * time.Second); final > baseline+goroutineSlack && time.Now().Before(end); {
+		runtime.GC()
+		time.Sleep(20 * time.Millisecond)
+		final = runtime.NumGoroutine()
+	}
+	if final > baseline+goroutineSlack {
+		t.Errorf("goroutines did not return to baseline: %d -> %d (slack %d)", baseline, final, goroutineSlack)
+	}
+}

@@ -173,18 +173,16 @@ func TestCalCacheConcurrentInvalidateLookup(t *testing.T) {
 		topos[i] = fmt.Sprintf("topo%d", i)
 		c.Store(topos[i], 1, time.Minute, &core.TopologyModel{})
 	}
+	// Bounded iterations rather than a wall-clock stop signal: the
+	// interleaving coverage comes from goroutine count, not run time,
+	// and a fixed workload cannot flake on a slow or loaded machine.
+	const churnIters = 3000
 	var wg sync.WaitGroup
-	stop := make(chan struct{})
 	for g := 0; g < 4; g++ {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			for i := 0; ; i++ {
-				select {
-				case <-stop:
-					return
-				default:
-				}
+			for i := 0; i < churnIters; i++ {
 				topo := topos[(g+i)%len(topos)]
 				switch i % 3 {
 				case 0:
@@ -197,8 +195,6 @@ func TestCalCacheConcurrentInvalidateLookup(t *testing.T) {
 			}
 		}(g)
 	}
-	time.Sleep(100 * time.Millisecond)
-	close(stop)
 	wg.Wait()
 	st := c.Stats()
 	if st.Entries < 0 || st.Entries > len(topos) {

@@ -349,17 +349,23 @@ func TestCloseFailsQueuedAndRejectsNew(t *testing.T) {
 	<-started
 	queued, _ := s.Submit(context.Background(), Request{Topology: "q", Kind: "predict", Tenant: "a"},
 		func(ctx context.Context) (any, error) { return nil, nil })
+	closeDone := make(chan struct{})
 	go func() {
-		time.Sleep(20 * time.Millisecond)
-		close(release)
+		s.Close()
+		close(closeDone)
 	}()
-	s.Close()
+	// Close drains the queue — completing queued items with ErrClosed —
+	// before it waits for in-flight work, so this Wait returning is the
+	// deterministic signal that Close has started; only then release
+	// the blocker. No timing assumption anywhere.
 	if _, err := queued.Wait(context.Background()); !errors.Is(err, ErrClosed) {
 		t.Fatalf("queued Wait err = %v; want ErrClosed", err)
 	}
+	close(release)
 	if _, err := blocker.Wait(context.Background()); err != nil {
 		t.Fatalf("in-flight run should finish on Close: %v", err)
 	}
+	<-closeDone
 	if _, err := s.Submit(context.Background(), Request{Topology: "x", Kind: "predict", Tenant: "a"}, nil); !errors.Is(err, ErrClosed) {
 		t.Fatalf("post-Close Submit err = %v; want ErrClosed", err)
 	}

@@ -42,6 +42,8 @@ type Scraper struct {
 	gen          uint64 // scrape generation, for stale-state pruning
 	prevCounters map[string]prevCounter
 	prevBuckets  map[string]prevBuckets
+	handles      map[string]scrapeHandle
+	batch        []tsdb.BatchSample
 	collectors   []func()
 	afterScrape  []func(time.Time)
 
@@ -63,6 +65,17 @@ type prevCounter struct {
 
 type prevBuckets struct {
 	cum []float64
+	gen uint64
+}
+
+// scrapeHandle caches one interned tsdb.SeriesHandle, generation-swept
+// like the prev* maps. Interning once per series (instead of paying
+// label canonicalisation plus a writer-lock round-trip per sample per
+// scrape) and flushing the walk through one AppendBatch is what keeps
+// the scraper's exclusive TSDB section short under load — measured by
+// BenchmarkScraperScrapeOnce, tracked in bench.sh.
+type scrapeHandle struct {
+	h   *tsdb.SeriesHandle
 	gen uint64
 }
 
@@ -110,6 +123,7 @@ func NewScraper(reg *Registry, db *tsdb.DB, opts ScrapeOptions) *Scraper {
 		quantiles:    opts.Quantiles,
 		prevCounters: map[string]prevCounter{},
 		prevBuckets:  map[string]prevBuckets{},
+		handles:      map[string]scrapeHandle{},
 		runs:         reg.Counter("caladrius_scrape_runs_total", nil),
 		samples:      reg.Counter("caladrius_scrape_samples_total", nil),
 		lastDur:      reg.Gauge("caladrius_scrape_last_duration_seconds", nil),
@@ -159,27 +173,23 @@ func (s *Scraper) ScrapeOnce(t time.Time) int {
 		dt = t.Sub(s.lastScrape).Seconds()
 	}
 	s.gen++
-	n := 0
 	for _, fam := range snap {
 		for _, ser := range fam.Series {
 			key := fam.Name + "{" + labelSig(ser.Labels) + "}"
 			switch fam.Type {
 			case "counter":
 				v := *ser.Value
-				s.db.Append(fam.Name, scrapeLabels(ser.Labels, "", ""), t, v)
-				n++
+				s.emit(key, fam.Name, ser.Labels, "", "", t, v)
 				if prev, ok := s.prevCounters[key]; ok && dt > 0 {
 					pv := prev.v
 					if v < pv { // counter reset: rate restarts from zero
 						pv = 0
 					}
-					s.db.Append(fam.Name+":rate", scrapeLabels(ser.Labels, "", ""), t, (v-pv)/dt)
-					n++
+					s.emit(key+"|rate", fam.Name+":rate", ser.Labels, "", "", t, (v-pv)/dt)
 				}
 				s.prevCounters[key] = prevCounter{v: v, gen: s.gen}
 			case "gauge":
-				s.db.Append(fam.Name, scrapeLabels(ser.Labels, "", ""), t, *ser.Value)
-				n++
+				s.emit(key, fam.Name, ser.Labels, "", "", t, *ser.Value)
 			case "histogram":
 				cum := make([]float64, len(ser.Buckets))
 				bounds := make([]float64, len(ser.Buckets))
@@ -190,17 +200,20 @@ func (s *Scraper) ScrapeOnce(t time.Time) int {
 					if b.LE > 1e300 {
 						le = "+Inf"
 					}
-					s.db.Append(fam.Name+"_bucket", scrapeLabels(ser.Labels, "le", le), t, cum[i])
-					n++
+					s.emit(key+"|le="+le, fam.Name+"_bucket", ser.Labels, "le", le, t, cum[i])
 				}
-				s.db.Append(fam.Name+"_count", scrapeLabels(ser.Labels, "", ""), t, float64(*ser.Count))
-				s.db.Append(fam.Name+"_sum", scrapeLabels(ser.Labels, "", ""), t, *ser.Sum)
-				n += 2
-				n += s.appendQuantiles(fam.Name, ser.Labels, key, bounds, cum, t)
+				s.emit(key+"|count", fam.Name+"_count", ser.Labels, "", "", t, float64(*ser.Count))
+				s.emit(key+"|sum", fam.Name+"_sum", ser.Labels, "", "", t, *ser.Sum)
+				s.appendQuantiles(fam.Name, ser.Labels, key, bounds, cum, t)
 				s.prevBuckets[key] = prevBuckets{cum: cum, gen: s.gen}
 			}
 		}
 	}
+	// One exclusive TSDB section for the whole walk, instead of a
+	// writer-lock round-trip per sample.
+	s.db.AppendBatch(s.batch)
+	n := len(s.batch)
+	s.batch = s.batch[:0]
 	// Sweep state of series the registry no longer exports.
 	for key, p := range s.prevCounters {
 		if p.gen != s.gen {
@@ -210,6 +223,11 @@ func (s *Scraper) ScrapeOnce(t time.Time) int {
 	for key, p := range s.prevBuckets {
 		if p.gen != s.gen {
 			delete(s.prevBuckets, key)
+		}
+	}
+	for key, h := range s.handles {
+		if h.gen != s.gen {
+			delete(s.handles, key)
 		}
 	}
 	s.lastScrape = t
@@ -227,19 +245,33 @@ func (s *Scraper) ScrapeOnce(t time.Time) int {
 	return n
 }
 
+// emit stages one sample into the scrape batch, interning (and
+// generation-refreshing) the series handle under hkey. Caller holds
+// s.mu; the batch flushes through one AppendBatch at the end of the
+// walk.
+func (s *Scraper) emit(hkey, metric string, labels Labels, extraKey, extraVal string, t time.Time, v float64) {
+	e, ok := s.handles[hkey]
+	if !ok {
+		e = scrapeHandle{h: s.db.Handle(metric, scrapeLabels(labels, extraKey, extraVal))}
+	}
+	e.gen = s.gen
+	s.handles[hkey] = e
+	s.batch = append(s.batch, tsdb.BatchSample{H: e.h, T: t, V: v})
+}
+
 // appendQuantiles derives the per-interval quantile points of one
 // histogram series from the bucket increase since the previous scrape.
 // Caller holds s.mu.
-func (s *Scraper) appendQuantiles(name string, labels Labels, key string, bounds, cum []float64, t time.Time) int {
+func (s *Scraper) appendQuantiles(name string, labels Labels, key string, bounds, cum []float64, t time.Time) {
 	prev, ok := s.prevBuckets[key]
 	if !ok || len(prev.cum) != len(cum) {
-		return 0
+		return
 	}
 	inc := make([]float64, len(cum))
 	for i := range cum {
 		d := cum[i] - prev.cum[i]
 		if d < 0 { // histogram reset: skip this interval
-			return 0
+			return
 		}
 		inc[i] = d
 		if i > 0 && inc[i] < inc[i-1] { // guard against atomic-read skew
@@ -247,15 +279,12 @@ func (s *Scraper) appendQuantiles(name string, labels Labels, key string, bounds
 		}
 	}
 	if inc[len(inc)-1] <= 0 { // nothing observed this interval
-		return 0
+		return
 	}
-	n := 0
 	for _, q := range s.quantiles {
 		v := estimateQuantile(bounds, inc, q)
-		s.db.Append(QuantileSeries(name, q), scrapeLabels(labels, "", ""), t, v)
-		n++
+		s.emit(key+"|"+QuantileSeries("", q), QuantileSeries(name, q), labels, "", "", t, v)
 	}
-	return n
 }
 
 // estimateQuantile interpolates the q-quantile from cumulative bucket

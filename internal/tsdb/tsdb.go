@@ -225,6 +225,40 @@ func (h *SeriesHandle) Append(t time.Time, v float64) {
 	h.db.mu.Unlock()
 }
 
+// BatchSample is one observation in an AppendBatch call, addressed by
+// an interned SeriesHandle.
+type BatchSample struct {
+	H *SeriesHandle
+	T time.Time
+	V float64
+}
+
+// AppendBatch records every sample under a single lock acquisition —
+// the bulk write API for producers that emit many series at one
+// instant (the telemetry scraper flushes a whole registry walk this
+// way). Compared to per-sample Append this pays one writer-lock
+// round-trip instead of len(samples), so concurrent readers see one
+// short exclusive section rather than hundreds of lock convoys. Every
+// handle must have been interned from this DB; a foreign handle
+// panics.
+func (db *DB) AppendBatch(samples []BatchSample) {
+	if len(samples) == 0 {
+		return
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for i := range samples {
+		h := samples[i].H
+		if h.db != db {
+			panic("tsdb: AppendBatch with a handle from a different DB")
+		}
+		if h.sd == nil {
+			h.sd = db.seriesLocked(h.metric, h.key, h.labels)
+		}
+		db.appendLocked(h.sd, samples[i].T, samples[i].V)
+	}
+}
+
 // Metrics returns the sorted list of metric names present.
 func (db *DB) Metrics() []string {
 	db.mu.RLock()

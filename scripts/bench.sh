@@ -1,16 +1,21 @@
 #!/usr/bin/env bash
 # Benchmark recipe: runs the hot-path micro-benchmarks and the
-# multi-rate sweep benchmarks, then writes BENCH_core.json with the
+# multi-rate sweep benchmarks, writes BENCH_core.json with the
 # measured numbers next to the recorded pre-optimization (seed)
-# baseline, so the delta from this PR is part of the repo record.
+# baseline, then drives the serving tier with caladriusbench's
+# standard mix and writes BENCH_api.json — including the scrape-path
+# contention numbers before and after the batched-append fix.
 #
-# Usage: scripts/bench.sh [output.json]   (default BENCH_core.json)
+# Usage: scripts/bench.sh [core.json] [api.json]
+#        (defaults BENCH_core.json / BENCH_api.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_core.json}"
+API_OUT="${2:-BENCH_api.json}"
 MICRO_TIME="${BENCH_MICRO_TIME:-2s}"
 SWEEP_COUNT="${BENCH_SWEEP_COUNT:-3x}"
+API_DURATION="${BENCH_API_DURATION:-15s}"
 
 # Seed baseline, measured on this repo immediately before the parallel
 # sweep engine and the simulator hot-path work landed (same harness,
@@ -18,6 +23,15 @@ SWEEP_COUNT="${BENCH_SWEEP_COUNT:-3x}"
 SEED_SIM_NS=682542      SEED_SIM_B=162131   SEED_SIM_ALLOCS=5915
 SEED_APPEND_NS=872.2    SEED_APPEND_B=324   SEED_APPEND_ALLOCS=4
 SEED_SWEEP_NS=247852953
+
+# Scrape-path contention baseline, measured immediately before
+# ScrapeOnce switched to the generation-swept handle cache + single
+# AppendBatch flush (same harness, benchtime 1s, GOMAXPROCS=1).
+# scrape_conc is one ScrapeOnce while a goroutine loops
+# Query+Downsample on the same store — the scrape-vs-read contention
+# this PR's fix targets.
+SEED_SCRAPE_NS=858601   SEED_SCRAPE_ALLOCS=1644
+SEED_SCRAPE_CONC_NS=16781639
 
 echo "== micro benchmarks (${MICRO_TIME}) =="
 MICRO=$(go test -run '^$' \
@@ -40,6 +54,12 @@ echo "$PROF"
 OVH=$(go test -run '^$' -bench 'BenchmarkPredictProfiler(Off|On)$' \
     -benchtime "$MICRO_TIME" -count=3 .)
 echo "$OVH"
+
+echo "== scrape contention benchmarks (${MICRO_TIME}) =="
+SCRAPE=$(go test -run '^$' \
+    -bench 'BenchmarkScraperScrapeOnce$|BenchmarkScrapeWithConcurrentReads$' \
+    -benchmem -benchtime "$MICRO_TIME" ./internal/telemetry/)
+echo "$SCRAPE"
 
 echo "== sweep benchmarks (${SWEEP_COUNT} per parallelism) =="
 SWEEP=$(go test -run '^$' -bench 'BenchmarkSweepParallel' -benchtime "$SWEEP_COUNT" .)
@@ -97,6 +117,9 @@ PROF_OFF_NS=$(pickmin "$OVH" BenchmarkPredictProfilerOff 3)
 PROF_ON_NS=$(pickmin "$OVH" BenchmarkPredictProfilerOn 3)
 SWEEP1_NS=$(pick "$SWEEP" BenchmarkSweepParallel1 3)
 SWEEP8_NS=$(pick "$SWEEP" BenchmarkSweepParallel8 3)
+SCRAPE_NS=$(pick "$SCRAPE" BenchmarkScraperScrapeOnce 3)
+SCRAPE_ALLOCS=$(pick "$SCRAPE" BenchmarkScraperScrapeOnce 7)
+SCRAPE_CONC_NS=$(pick "$SCRAPE" BenchmarkScrapeWithConcurrentReads 3)
 
 GOMAXPROCS="${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN)}"
 ratio() { awk -v a="$1" -v b="$2" 'BEGIN { printf "%.2f", a / b }'; }
@@ -180,6 +203,12 @@ cat > "$OUT" <<EOF
     "budget": "profiler-on warm predict must stay within 1% of profiler-off",
     "note": "capture loop runs at 10x time-compressed default duty (25ms CPU window per 1s interval vs 250ms per 10s); min of 3 runs each side; 0 means on was within noise of off"
   },
+  "scrape_contention": {
+    "seed": {"scrape_ns_op": ${SEED_SCRAPE_NS}, "scrape_allocs_op": ${SEED_SCRAPE_ALLOCS}, "scrape_under_reads_ns_op": ${SEED_SCRAPE_CONC_NS}},
+    "now":  {"scrape_ns_op": ${SCRAPE_NS}, "scrape_allocs_op": ${SCRAPE_ALLOCS}, "scrape_under_reads_ns_op": ${SCRAPE_CONC_NS}},
+    "speedup_under_concurrent_reads": $(ratio "$SEED_SCRAPE_CONC_NS" "$SCRAPE_CONC_NS"),
+    "note": "ScrapeOnce previously took one exclusive TSDB writer-lock round-trip per sample (~800 per scrape); it now stages samples against a generation-swept handle cache and flushes them with a single AppendBatch lock acquisition, so concurrent query_range/downsample readers are no longer starved during scrapes"
+  },
   "fig04_sweep": {
     "seed_sequential_ns": ${SEED_SWEEP_NS},
     "now_parallel1_ns": ${SWEEP1_NS},
@@ -191,3 +220,8 @@ cat > "$OUT" <<EOF
 }
 EOF
 echo "bench: wrote $OUT"
+
+echo "== serving-tier load (caladriusbench, ${API_DURATION}) =="
+go run ./cmd/caladriusbench -duration "$API_DURATION" -concurrency 8 \
+    -contention "scrape_seed_ns_op=${SEED_SCRAPE_NS},scrape_now_ns_op=${SCRAPE_NS},scrape_seed_allocs_op=${SEED_SCRAPE_ALLOCS},scrape_now_allocs_op=${SCRAPE_ALLOCS},scrape_under_reads_seed_ns_op=${SEED_SCRAPE_CONC_NS},scrape_under_reads_now_ns_op=${SCRAPE_CONC_NS},scrape_under_reads_speedup=$(ratio "$SEED_SCRAPE_CONC_NS" "$SCRAPE_CONC_NS")" \
+    -o "$API_OUT"

@@ -9,9 +9,12 @@
 # calibration-cache churn suites, the continuous profiler with its
 # concurrent capture/query/baseline-swap suite, and the chaos layer —
 # whose invariant suite runs its fixed 3-seed × every-fault-kind
-# matrix under -race here), then a
+# matrix under -race here, and the load/soak harness), then a
 # short fuzz smoke over the three parsers that face untrusted input
-# (config YAML, API range queries, pprof protobuf profiles).
+# (config YAML, API range queries, pprof protobuf profiles), and
+# finally a ~10s smoke soak: caladriusbench drives an in-process
+# daemon through a chaos metrics outage and exits non-zero unless the
+# SLOs resolve and the process returns to its goroutine baseline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -32,8 +35,12 @@ go test -race ./internal/sched
 go test -race ./internal/experiments ./internal/heron
 go test -race ./internal/chaos ./internal/metrics
 go test -race ./internal/profiler
+go test -race ./internal/bench
 FUZZTIME="${VERIFY_FUZZTIME:-10s}"
 go test -run '^$' -fuzz '^FuzzParse$' -fuzztime "$FUZZTIME" ./internal/yamlite
 go test -run '^$' -fuzz '^FuzzParseQueryRange$' -fuzztime "$FUZZTIME" ./internal/api
 go test -run '^$' -fuzz '^FuzzPprofParse$' -fuzztime "$FUZZTIME" ./internal/profiler
+SOAK_OUT=$(mktemp)
+go run ./cmd/caladriusbench -soak -duration 6s -slo-window 4s -settle 12s -o "$SOAK_OUT"
+rm -f "$SOAK_OUT"
 echo "verify: all checks passed"
